@@ -1,0 +1,316 @@
+// Package aqppp is a Go implementation of AQP++ (Peng, Zhang, Wang, Pei —
+// SIGMOD 2018): interactive approximate query processing that connects
+// sampling-based AQP with aggregate precomputation. Instead of estimating
+// a query's answer directly from a sample, AQP++ estimates the *difference*
+// between the query and a precomputed aggregate from a blocked prefix
+// cube, then anchors the estimate on the exact precomputed value:
+//
+//	q(D) ≈ pre(D) + (q̂(S) − prê(S))
+//
+// The result is typically an order of magnitude more accurate than AQP at
+// the same sample size, for a preprocessing cost orders of magnitude below
+// materializing full data cubes.
+//
+// # Quick start
+//
+//	db := aqppp.NewDB()
+//	db.Register(table)                        // an *engine.Table you built or loaded
+//	prep, err := db.Prepare(aqppp.PrepareOptions{
+//	    Table:      "lineitem",
+//	    Aggregate:  "l_extendedprice",
+//	    Dimensions: []string{"l_orderkey", "l_suppkey"},
+//	    SampleRate: 0.01,
+//	    CellBudget: 50000,
+//	})
+//	res, err := prep.Query("SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 10 AND 500")
+//	fmt.Printf("%.0f ± %.0f (95%%)\n", res.Value, res.HalfWidth)
+//
+// See the examples/ directory for runnable end-to-end programs.
+package aqppp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"aqppp/internal/core"
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/precompute"
+	"aqppp/internal/sample"
+	"aqppp/internal/sql"
+)
+
+// DB is a registry of in-memory tables plus the prepared AQP++ state built
+// over them. It is safe for concurrent readers once tables are registered
+// and preparations built.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*engine.Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*engine.Table)}
+}
+
+// Register adds a table. Registering a second table with the same name is
+// an error (drop and re-register to replace).
+func (db *DB) Register(tbl *engine.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[tbl.Name]; ok {
+		return fmt.Errorf("aqppp: table %q already registered", tbl.Name)
+	}
+	db.tables[tbl.Name] = tbl
+	return nil
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.tables, name)
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*engine.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("aqppp: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists registered tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// LoadCSV reads a CSV (with header) into a new registered table.
+func (db *DB) LoadCSV(name string, r io.Reader) (*engine.Table, error) {
+	tbl, err := engine.ReadCSV(name, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Register(tbl); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// LoadBinary reads a table in the engine's binary format and registers it.
+func (db *DB) LoadBinary(r io.Reader) (*engine.Table, error) {
+	tbl, err := engine.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Register(tbl); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Exact runs a SQL statement exactly over the full table (the slow path a
+// user falls back to for MIN/MAX/VAR or when perfect answers are needed).
+func (db *DB) Exact(statement string) (engine.Result, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	tbl, err := db.Table(st.Table)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	q, err := sql.Compile(st, tbl)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return tbl.Execute(q)
+}
+
+// PrepareOptions configures Prepare: which template to precompute for and
+// how much to spend on it.
+type PrepareOptions struct {
+	// Table names the registered table.
+	Table string
+	// Aggregate is the aggregation attribute A of the template
+	// [SUM(A), Dims...]; empty prepares a COUNT template.
+	Aggregate string
+	// Dimensions are the condition attributes.
+	Dimensions []string
+	// SampleRate is the uniform sample's share of the table (default
+	// 0.01).
+	SampleRate float64
+	// CellBudget is the BP-Cube cell threshold k (default 10000).
+	CellBudget int
+	// Confidence is the CI level for answers (default 0.95).
+	Confidence float64
+	// Seed fixes all randomness (sampling, identification subsample).
+	Seed uint64
+	// EqualPartitionOnly skips hill climbing (mostly for comparisons).
+	EqualPartitionOnly bool
+	// WithCountCube also precomputes a COUNT cube so AVG queries get the
+	// full AQP++ treatment.
+	WithCountCube bool
+	// WithMinMax also builds exact range-extrema indexes (one per
+	// dimension) so MIN/MAX queries restricted to a single dimension are
+	// answered exactly — the paper's §8 observation that extrema are
+	// easy for precomputation and impossible for sampling.
+	WithMinMax bool
+	// LocalAdjustment switches hill climbing to the weaker local mode.
+	LocalAdjustment bool
+}
+
+// Prepared answers queries for one template using AQP++.
+type Prepared struct {
+	db         *DB
+	tbl        *engine.Table
+	proc       *core.Processor
+	stats      core.BuildStats
+	maintainer *core.Maintainer
+}
+
+// Prepare builds the sample and BP-Cube for a template (the offline
+// stage): sample → per-dimension error profiles → cube shape → hill-climbed
+// partition points → one full-data scan to fill the cube.
+func (db *DB) Prepare(opts PrepareOptions) (*Prepared, error) {
+	tbl, err := db.Table(opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SampleRate == 0 {
+		opts.SampleRate = 0.01
+	}
+	if opts.CellBudget == 0 {
+		opts.CellBudget = 10000
+	}
+	mode := precompute.Global
+	if opts.LocalAdjustment {
+		mode = precompute.Local
+	}
+	proc, st, err := core.Build(tbl, core.BuildConfig{
+		Template:           cube.Template{Agg: opts.Aggregate, Dims: opts.Dimensions},
+		SampleRate:         opts.SampleRate,
+		CellBudget:         opts.CellBudget,
+		Confidence:         opts.Confidence,
+		Seed:               opts.Seed,
+		Mode:               mode,
+		EqualPartitionOnly: opts.EqualPartitionOnly,
+		WithCountCube:      opts.WithCountCube,
+		WithMinMax:         opts.WithMinMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, tbl: tbl, proc: proc, stats: st}, nil
+}
+
+// Result is an approximate answer with its confidence interval.
+type Result struct {
+	// Value is the point estimate.
+	Value float64
+	// HalfWidth is ε: the true answer lies in [Value−ε, Value+ε] at the
+	// stated confidence.
+	HalfWidth float64
+	// Confidence is the interval's level (e.g. 0.95).
+	Confidence float64
+	// UsedPrecomputed reports whether a precomputed aggregate anchored
+	// the answer (false = the query degenerated to plain AQP).
+	UsedPrecomputed bool
+	// Pre describes the identified aggregate (for diagnostics).
+	Pre string
+	// Groups holds per-group results for GROUP BY queries; scalar
+	// queries leave it nil.
+	Groups []GroupResult
+}
+
+// GroupResult is one group's result.
+type GroupResult struct {
+	Key string
+	Result
+}
+
+// Query parses and answers a SQL statement approximately.
+func (p *Prepared) Query(statement string) (Result, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return Result{}, err
+	}
+	if st.Table != p.tbl.Name {
+		return Result{}, fmt.Errorf("aqppp: prepared for table %q, statement targets %q", p.tbl.Name, st.Table)
+	}
+	q, err := sql.Compile(st, p.tbl)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.QueryStruct(q)
+}
+
+// QueryStruct answers an engine.Query approximately.
+func (p *Prepared) QueryStruct(q engine.Query) (Result, error) {
+	if len(q.GroupBy) > 0 {
+		groups, err := p.proc.AnswerGroups(q)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{Confidence: p.proc.Confidence}
+		for _, g := range groups {
+			out.Groups = append(out.Groups, GroupResult{Key: g.Key, Result: toResult(g.Answer)})
+		}
+		return out, nil
+	}
+	ans, err := p.proc.Answer(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(ans), nil
+}
+
+func toResult(a core.Answer) Result {
+	return Result{
+		Value:           a.Estimate.Value,
+		HalfWidth:       a.Estimate.HalfWidth,
+		Confidence:      a.Estimate.Confidence,
+		UsedPrecomputed: !a.Pre.IsPhi(),
+		Pre:             a.Pre.String(),
+	}
+}
+
+// Stats reports the preprocessing cost of this preparation.
+func (p *Prepared) Stats() PreprocessingStats {
+	return PreprocessingStats{
+		SampleRows:   p.proc.Sample.Size(),
+		SampleBytes:  p.stats.SampleBytes,
+		CubeCells:    p.proc.Cube.NumCells(),
+		CubeBytes:    p.stats.CubeBytes,
+		CubeShape:    append([]int(nil), p.stats.Shape...),
+		TotalSeconds: p.stats.TotalTime().Seconds(),
+	}
+}
+
+// PreprocessingStats summarizes the offline cost (the paper's
+// preprocessing time/space metrics).
+type PreprocessingStats struct {
+	SampleRows   int
+	SampleBytes  int64
+	CubeCells    int
+	CubeBytes    int64
+	CubeShape    []int
+	TotalSeconds float64
+}
+
+// Sample exposes the underlying sample (read-only use).
+func (p *Prepared) Sample() *sample.Sample { return p.proc.Sample }
+
+// Processor exposes the underlying AQP++ processor for advanced use
+// (ablations, custom pipelines).
+func (p *Prepared) Processor() *core.Processor { return p.proc }

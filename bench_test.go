@@ -1,0 +1,248 @@
+package aqppp
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (§7). Each benchmark runs the corresponding
+// experiment at the environment-configured scale (AQPPP_* variables, see
+// internal/experiments.FromEnv) and reports the headline accuracy numbers
+// as custom benchmark metrics, printing the full table/series once.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Scale up toward the paper's setting:
+//
+//	AQPPP_TPCD_ROWS=2000000 AQPPP_QUERIES=1000 AQPPP_K=50000 \
+//	  go test -bench=BenchmarkTable1 -benchtime=1x
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aqppp/internal/experiments"
+)
+
+// benchScale caches the scale so every benchmark sees the same datasets.
+var benchScale = struct {
+	once sync.Once
+	sc   experiments.Scale
+}{}
+
+func scale() experiments.Scale {
+	benchScale.once.Do(func() {
+		benchScale.sc = experiments.FromEnv()
+	})
+	return benchScale.sc
+}
+
+// printOnce guards each report so -benchtime multipliers do not spam.
+var printOnce sync.Map
+
+func report(b *testing.B, key, text string) {
+	b.Helper()
+	if _, dup := printOnce.LoadOrStore(key, true); !dup {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: overall comparison of AQP, AggPre,
+// AQP++, AQP(large) and APA+ on TPCD-Skew.
+func BenchmarkTable1(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunTable1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			switch row.System {
+			case "AQP":
+				b.ReportMetric(100*row.MdnErr, "aqp-mdn-%")
+			case "AQP++":
+				b.ReportMetric(100*row.MdnErr, "aqppp-mdn-%")
+			}
+		}
+		report(b, "table1", rep.String())
+	}
+}
+
+// BenchmarkFigure7a regenerates Figure 7(a): preprocessing time vs the
+// number of dimensions. (7a/7b/7c share one run per iteration; each
+// benchmark reports its own panel's metric.)
+func BenchmarkFigure7a(b *testing.B) {
+	benchFigure7(b, "figure7a", func(b *testing.B, rep *experiments.Figure7Report) {
+		last := rep.Points[len(rep.Points)-1]
+		b.ReportMetric(last.PreprocessAQPPP.Seconds(), "prep-s@maxd")
+	})
+}
+
+// BenchmarkFigure7b regenerates Figure 7(b): response time vs dimensions.
+func BenchmarkFigure7b(b *testing.B) {
+	benchFigure7(b, "figure7b", func(b *testing.B, rep *experiments.Figure7Report) {
+		last := rep.Points[len(rep.Points)-1]
+		b.ReportMetric(float64(last.RespAQPPP.Microseconds()), "resp-us@maxd")
+	})
+}
+
+// BenchmarkFigure7c regenerates Figure 7(c): median error vs dimensions.
+func BenchmarkFigure7c(b *testing.B) {
+	benchFigure7(b, "figure7c", func(b *testing.B, rep *experiments.Figure7Report) {
+		first := rep.Points[0]
+		b.ReportMetric(first.MdnErrAQP/first.MdnErrAQPPP, "gain@1d")
+	})
+}
+
+func benchFigure7(b *testing.B, key string, metric func(*testing.B, *experiments.Figure7Report)) {
+	sc := scale()
+	maxDims := 6 // full ten at paper scale is a long run; raise via code if needed
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure7(sc, maxDims)
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, rep)
+		report(b, "figure7", rep.String())
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: hill-climb global vs local
+// convergence on correlated attributes.
+func BenchmarkFigure8(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d0 := rep.Dims[0]
+		g := d0.GlobalTrace[len(d0.GlobalTrace)-1]
+		l := d0.LocalTrace[len(d0.LocalTrace)-1]
+		if g > 0 {
+			b.ReportMetric(l/g, "local/global-errup")
+		}
+		report(b, "figure8", rep.String())
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9: changing condition-attribute
+// sets with a single precomputed BP-Cube.
+func BenchmarkFigure9(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure9(sc, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q3 := rep.Points[2]
+		if q3.MdnErrAQPPP > 0 {
+			b.ReportMetric(q3.MdnErrAQP/q3.MdnErrAQPPP, "gain@q3")
+		}
+		report(b, "figure9", rep.String())
+	}
+}
+
+// BenchmarkFigure10a regenerates Figure 10(a): measure-biased sampling,
+// error vs cube size.
+func BenchmarkFigure10a(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure10a(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Points[len(rep.Points)-1]
+		if last.MdnErrAQPPP > 0 {
+			b.ReportMetric(last.MdnErrAQP/last.MdnErrAQPPP, "gain@maxk")
+		}
+		report(b, "figure10a", rep.String())
+	}
+}
+
+// BenchmarkFigure10b regenerates Figure 10(b): stratified sampling,
+// per-group errors.
+func BenchmarkFigure10b(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure10b(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstGain := 0.0
+		for _, g := range rep.Groups {
+			if g.MdnErrAQPPP > 0 {
+				if gain := g.MdnErrAQP / g.MdnErrAQPPP; worstGain == 0 || gain < worstGain {
+					worstGain = gain
+				}
+			}
+		}
+		b.ReportMetric(worstGain, "min-group-gain")
+		report(b, "figure10b", rep.String())
+	}
+}
+
+// BenchmarkFigure11a regenerates Figure 11(a): BigBench, error vs k.
+func BenchmarkFigure11a(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure11a(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Points[len(rep.Points)-1]
+		if last.MdnErrAQPPP > 0 {
+			b.ReportMetric(last.MdnErrAQP/last.MdnErrAQPPP, "gain@maxk")
+		}
+		report(b, "figure11a", rep.String())
+	}
+}
+
+// BenchmarkFigure11b regenerates Figure 11(b): TLCTrip, error vs
+// dimensions.
+func BenchmarkFigure11b(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure11b(sc, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := rep.Points[0]
+		if first.MdnErrAQPPP > 0 {
+			b.ReportMetric(first.MdnErrAQP/first.MdnErrAQPPP, "gain@1d")
+		}
+		report(b, "figure11b", rep.String())
+	}
+}
+
+// BenchmarkAblations runs the design-choice studies (equal partition vs
+// hill climbing, P⁻ vs brute force, subsample-rate sweep).
+func BenchmarkAblations(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunAblations(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MdnErrHillClimb > 0 {
+			b.ReportMetric(rep.MdnErrEqual/rep.MdnErrHillClimb, "equal/hillclimb-err")
+		}
+		b.ReportMetric(100*rep.BruteAgreeRate, "brute-agree-%")
+		report(b, "ablations", rep.String())
+	}
+}
+
+// BenchmarkWaveletStudy compares the wavelet-compressed cube (approximate
+// AggPre) against AQP++ at matched storage (§8 "cube approximation").
+func BenchmarkWaveletStudy(b *testing.B) {
+	sc := scale()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunWaveletStudy(sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rep.Points[len(rep.Points)-1]
+		if last.MdnDevAQPPP > 0 {
+			b.ReportMetric(last.MdnDevWavelet/last.MdnDevAQPPP, "wavelet/aqppp-dev")
+		}
+		report(b, "wavelet", rep.String())
+	}
+}

@@ -1,0 +1,83 @@
+// Command aqppp-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aqppp-bench [flags] [experiment ...]
+//
+// Experiments: table1, figure7, figure8, figure9, figure10a, figure10b,
+// figure11a, figure11b, or "all" (the default).
+//
+// Flags override the AQPPP_* environment scale knobs:
+//
+//	aqppp-bench -tpcd-rows 2000000 -queries 1000 -k 50000 table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aqppp/internal/experiments"
+)
+
+func main() {
+	sc := experiments.FromEnv()
+	flag.IntVar(&sc.TPCDRows, "tpcd-rows", sc.TPCDRows, "TPCD-Skew lineitem rows")
+	flag.IntVar(&sc.BigBenchRows, "bigbench-rows", sc.BigBenchRows, "BigBench UserVisits rows")
+	flag.IntVar(&sc.TLCRows, "tlc-rows", sc.TLCRows, "TLCTrip rows")
+	flag.IntVar(&sc.Queries, "queries", sc.Queries, "queries per workload")
+	flag.Float64Var(&sc.SampleRate, "sample-rate", sc.SampleRate, "uniform sample rate")
+	flag.IntVar(&sc.K, "k", sc.K, "BP-Cube cell budget")
+	seed := flag.Uint64("seed", sc.Seed, "random seed")
+	maxDims := flag.Int("max-dims", 0, "cap on #dimensions for figure7/figure11b (0 = all ten)")
+	flag.Parse()
+	sc.Seed = *seed
+
+	experimentsToRun := flag.Args()
+	if len(experimentsToRun) == 0 {
+		experimentsToRun = []string{"all"}
+	}
+	all := map[string]func() (fmt.Stringer, error){
+		"table1":    func() (fmt.Stringer, error) { return experiments.RunTable1(sc) },
+		"figure7":   func() (fmt.Stringer, error) { return experiments.RunFigure7(sc, *maxDims) },
+		"figure8":   func() (fmt.Stringer, error) { return experiments.RunFigure8(sc) },
+		"figure9":   func() (fmt.Stringer, error) { return experiments.RunFigure9(sc, 0) },
+		"figure10a": func() (fmt.Stringer, error) { return experiments.RunFigure10a(sc, nil) },
+		"figure10b": func() (fmt.Stringer, error) { return experiments.RunFigure10b(sc) },
+		"figure11a": func() (fmt.Stringer, error) { return experiments.RunFigure11a(sc, nil) },
+		"figure11b": func() (fmt.Stringer, error) { return experiments.RunFigure11b(sc, *maxDims) },
+		"ablations": func() (fmt.Stringer, error) { return experiments.RunAblations(sc) },
+		"wavelet":   func() (fmt.Stringer, error) { return experiments.RunWaveletStudy(sc, nil) },
+	}
+	order := []string{"table1", "figure7", "figure8", "figure9", "figure10a", "figure10b", "figure11a", "figure11b", "ablations", "wavelet"}
+
+	var names []string
+	for _, arg := range experimentsToRun {
+		if arg == "all" {
+			names = order
+			break
+		}
+		if _, ok := all[arg]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from %v or all\n", arg, order)
+			os.Exit(2)
+		}
+		names = append(names, arg)
+	}
+
+	fmt.Printf("aqppp-bench: scale = %+v\n\n", sc)
+	failed := false
+	for _, name := range names {
+		start := time.Now()
+		rep, err := all[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s (ran in %v) ===\n%s\n", name, time.Since(start).Round(time.Millisecond), rep)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

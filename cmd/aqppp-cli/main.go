@@ -1,0 +1,114 @@
+// Command aqppp-cli is an interactive SQL shell over the engine with
+// three answering modes: approximate (AQP++), sample-only (plain AQP) and
+// exact. It loads a table from a binary/CSV file produced by aqppp-gen,
+// or generates a demo dataset in-process.
+//
+// Usage:
+//
+//	aqppp-cli -load lineitem.tbl -agg l_extendedprice -dims l_orderkey,l_suppkey
+//	aqppp-cli -demo tpcd -rows 200000 -agg l_extendedprice -dims l_orderkey,l_suppkey
+//
+// Shell commands:
+//
+//	SELECT ...;          answer approximately with AQP++
+//	.aqp SELECT ...;     answer with plain AQP (same sample)
+//	.exact SELECT ...;   answer exactly (full scan)
+//	.stats               preprocessing statistics
+//	.schema              table schema
+//	.help                this help
+//	.quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aqppp"
+	"aqppp/internal/dataset"
+	"aqppp/internal/engine"
+	"aqppp/internal/repl"
+)
+
+func main() {
+	load := flag.String("load", "", "binary table file to load (from aqppp-gen)")
+	csvPath := flag.String("csv", "", "CSV table file to load")
+	demo := flag.String("demo", "", "generate a demo dataset: tpcd | bigbench | tlctrip")
+	rows := flag.Int("rows", 200000, "rows for -demo")
+	agg := flag.String("agg", "", "aggregation attribute for the prepared template")
+	dims := flag.String("dims", "", "comma-separated condition attributes")
+	rate := flag.Float64("sample-rate", 0.01, "uniform sample rate")
+	k := flag.Int("k", 5000, "BP-Cube cell budget")
+	seed := flag.Uint64("seed", 42, "random seed")
+	withMinMax := flag.Bool("minmax", false, "also build exact MIN/MAX indexes")
+	flag.Parse()
+
+	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	db := aqppp.NewDB()
+	if err := db.Register(tbl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *agg == "" || *dims == "" {
+		fmt.Fprintln(os.Stderr, "need -agg and -dims to prepare AQP++ (e.g. -agg l_extendedprice -dims l_orderkey,l_suppkey)")
+		os.Exit(2)
+	}
+	fmt.Printf("preparing AQP++ for [%s; %s] (rate %.3g, k %d)...\n", *agg, *dims, *rate, *k)
+	t0 := time.Now()
+	prep, err := db.Prepare(aqppp.PrepareOptions{
+		Table: tbl.Name, Aggregate: *agg,
+		Dimensions: strings.Split(*dims, ","),
+		SampleRate: *rate, CellBudget: *k, Seed: *seed,
+		WithMinMax: *withMinMax,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ready in %v. Table %q, %d rows. Type .help for commands.\n",
+		time.Since(t0).Round(time.Millisecond), tbl.Name, tbl.NumRows())
+
+	session := repl.NewSession(db, tbl, prep)
+	if err := session.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func loadTable(load, csvPath, demo string, rows int, seed uint64) (*engine.Table, error) {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return engine.ReadBinary(f)
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		base := csvPath
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		base = strings.TrimSuffix(base, ".csv")
+		return engine.ReadCSV(base, f)
+	case demo == "tpcd":
+		return dataset.TPCDSkew(dataset.TPCDConfig{Rows: rows, Seed: seed}), nil
+	case demo == "bigbench":
+		return dataset.BigBenchUserVisits(dataset.BigBenchConfig{Rows: rows, Seed: seed}), nil
+	case demo == "tlctrip":
+		return dataset.TLCTrip(dataset.TLCTripConfig{Rows: rows, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("need one of -load, -csv, or -demo")
+	}
+}

@@ -1,0 +1,44 @@
+package aqppp_test
+
+import (
+	"fmt"
+	"log"
+
+	"aqppp"
+	"aqppp/internal/engine"
+)
+
+// Example demonstrates the basic prepare-then-query flow on a small
+// deterministic table.
+func Example() {
+	// Ten rows: value = 10 * key.
+	keys := make([]int64, 10)
+	vals := make([]float64, 10)
+	for i := range keys {
+		keys[i] = int64(i + 1)
+		vals[i] = float64(10 * (i + 1))
+	}
+	tbl := engine.MustNewTable("toy",
+		engine.NewIntColumn("k", keys),
+		engine.NewFloatColumn("v", vals),
+	)
+	db := aqppp.NewDB()
+	if err := db.Register(tbl); err != nil {
+		log.Fatal(err)
+	}
+	prep, err := db.Prepare(aqppp.PrepareOptions{
+		Table: "toy", Aggregate: "v", Dimensions: []string{"k"},
+		SampleRate: 1.0, // full sample: answers are exact
+		CellBudget: 10,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prep.Query("SELECT SUM(v) FROM toy WHERE k BETWEEN 3 AND 6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f ± %.0f\n", res.Value, res.HalfWidth)
+	// Output: 180 ± 0
+}

@@ -1,0 +1,97 @@
+// Group-by with stratified sampling: the paper's §7.4 / Figure 10(b)
+// scenario. A stratified sample protects tiny groups (every row of the
+// rare <N,F> combination is kept), a BP-Cube treats the group-by
+// attributes as extra dimensions (Appendix C), and AQP++ tightens every
+// group's interval.
+//
+//	go run ./examples/groupby
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"aqppp/internal/aqp"
+	"aqppp/internal/core"
+	"aqppp/internal/cube"
+	"aqppp/internal/dataset"
+	"aqppp/internal/engine"
+	"aqppp/internal/sample"
+)
+
+func main() {
+	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: 300000, Seed: 21})
+
+	// Stratify on the group-by attributes with a 100-row floor per
+	// stratum: small groups get fully sampled.
+	s, err := sample.NewStratified(tbl, []string{"l_returnflag", "l_linestatus"}, 0.01, 100, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("strata (source rows → sample rows):")
+	for _, st := range s.Strata {
+		full := ""
+		if st.SampleRows == st.SourceRows {
+			full = "  ← fully sampled (exact answers)"
+		}
+		fmt.Printf("  <%s>  %7d → %5d%s\n", st.Key, st.SourceRows, st.SampleRows, full)
+	}
+
+	// The cube includes the group-by attributes as dimensions.
+	proc, _, err := core.Build(tbl, core.BuildConfig{
+		Template: cube.Template{
+			Agg:  "l_extendedprice",
+			Dims: []string{"l_orderkey", "l_suppkey", "l_returnflag", "l_linestatus"},
+		},
+		CellBudget:     8000,
+		Seed:           25,
+		PrebuiltSample: s,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := engine.Query{
+		Func: engine.Sum, Col: "l_extendedprice",
+		Ranges: []engine.Range{
+			{Col: "l_orderkey", Lo: 1, Hi: 500},
+			{Col: "l_suppkey", Lo: 1, Hi: 3000},
+		},
+		GroupBy: []string{"l_returnflag", "l_linestatus"},
+	}
+	truthRes, err := tbl.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := map[string]float64{}
+	for _, g := range truthRes.Groups {
+		truth[g.Key] = g.Value
+	}
+
+	plain, err := aqp.EstimateGroups(s, q, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plainBy := map[string]aqp.Estimate{}
+	for _, g := range plain {
+		plainBy[g.Key] = g.Est
+	}
+
+	groups, err := proc.AnswerGroups(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+
+	fmt.Printf("\n%-8s %14s %20s %20s\n", "group", "exact", "AQP ±", "AQP++ ±")
+	for _, g := range groups {
+		tv := truth[g.Key]
+		p := plainBy[g.Key]
+		fmt.Printf("<%-6s> %14.0f %12.0f ± %-7.0f %12.0f ± %-7.0f\n",
+			g.Key, tv, p.Value, p.HalfWidth,
+			g.Answer.Estimate.Value, g.Answer.Estimate.HalfWidth)
+	}
+	fmt.Println("\nFully sampled strata answer exactly (± 0) under both systems —")
+	fmt.Println("the paper's \"<N,F>\" observation; AQP++ tightens the rest.")
+}

@@ -1,0 +1,70 @@
+// Online aggregation: the §8 future direction prototyped — the sample
+// grows while the analyst watches the confidence interval shrink, and the
+// precomputed BP-Cube keeps anchoring every refinement. Compare the AQP++
+// column against plain AQP at the same growing sample size.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aqppp/internal/core"
+	"aqppp/internal/cube"
+	"aqppp/internal/dataset"
+	"aqppp/internal/engine"
+)
+
+func main() {
+	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: 400000, Seed: 17})
+
+	// The warehouse already holds a precomputed BP-Cube.
+	built, _, err := core.Build(tbl, core.BuildConfig{
+		Template:   cube.Template{Agg: "l_extendedprice", Dims: []string{"l_orderkey"}},
+		SampleRate: 0.001, CellBudget: 500, Seed: 19,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := engine.Query{Func: engine.Sum, Col: "l_extendedprice",
+		Ranges: []engine.Range{{Col: "l_orderkey", Lo: 50, Hi: 40000}}}
+	truth, err := tbl.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %v\nexact: %.0f\n\n", q, truth.Value)
+
+	// Two online sessions over the same growing random order: one with
+	// the cube (AQP++) and one without (plain AQP).
+	withCube, err := core.NewProgressive(tbl, built.Cube, 0.95, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := core.NewProgressive(tbl, nil, 0.95, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %28s %28s %18s\n", "sample", "AQP (± 95% CI)", "AQP++ (± 95% CI)", "actual dev %")
+	for _, add := range []int{250, 250, 500, 1000, 2000, 4000} {
+		withCube.Step(add)
+		plain.Step(add)
+		a1, err := plain.Answer(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a2, err := withCube.Answer(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devAQP := 100 * (a1.Estimate.Value - truth.Value) / truth.Value
+		devPP := 100 * (a2.Estimate.Value - truth.Value) / truth.Value
+		fmt.Printf("%8d %14.0f ± %-11.0f %14.0f ± %-11.0f %+7.2f / %+6.2f\n",
+			withCube.SampleSize(),
+			a1.Estimate.Value, a1.Estimate.HalfWidth,
+			a2.Estimate.Value, a2.Estimate.HalfWidth, devAQP, devPP)
+	}
+	fmt.Println("\nBoth intervals shrink as ~1/√n; the cube anchor keeps AQP++'s tighter at every step.")
+}

@@ -1,0 +1,3 @@
+module aqppp
+
+go 1.22

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"aqppp/internal/aqp"
+	"aqppp/internal/engine"
+	"aqppp/internal/ident"
+	"aqppp/internal/stats"
+)
+
+// AnswerBootstrap answers a SUM/COUNT query with an empirical bootstrap
+// confidence interval instead of the closed form (§4.2.2): after
+// identifying the pre as usual, it resamples the sample, recomputes
+// pre(D) + (q̂(S_i) − prê(S_i)) per replicate, and reads the percentile
+// interval off the replicate distribution. This is the general path the
+// paper prescribes for aggregates without closed-form intervals; for SUM
+// it doubles as a cross-check of the CLT interval (see the tests).
+func (p *Processor) AnswerBootstrap(q engine.Query, resamples int, seed uint64) (Answer, error) {
+	if q.Func != engine.Sum && q.Func != engine.Count {
+		return Answer{}, fmt.Errorf("core: AnswerBootstrap supports SUM/COUNT, got %v", q.Func)
+	}
+	if len(q.GroupBy) > 0 {
+		return Answer{}, fmt.Errorf("core: AnswerBootstrap does not handle GROUP BY")
+	}
+	conf := p.confidence()
+	c := p.Cube
+	if q.Func == engine.Count {
+		c = p.countCube()
+	}
+	pre := ident.Pre{Phi: true}
+	considered := 1
+	if c != nil {
+		sel, err := ident.SelectBest(c, q, p.subsample(), conf)
+		if err != nil {
+			return Answer{}, err
+		}
+		pre = sel.Pre
+		considered = sel.Considered
+	}
+	var preVal float64
+	if !pre.IsPhi() {
+		preVal = pre.Value(c)
+	}
+	vals, err := p.diffOrCond(q, c, pre)
+	if err != nil {
+		return Answer{}, err
+	}
+	point := preVal + aqp.SumOfValues(p.Sample, vals, conf).Value
+
+	if resamples <= 0 {
+		resamples = 200
+	}
+	r := stats.NewRNG(seed)
+	n := p.Sample.Size()
+	idx := make([]int, n)
+	reps := make([]float64, 0, resamples)
+	for rep := 0; rep < resamples; rep++ {
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		rs := aqp.ResampleRows(p.Sample, idx)
+		rvals := make([]float64, n)
+		for i, j := range idx {
+			rvals[i] = vals[j]
+		}
+		est := aqp.SumOfValues(rs, rvals, conf)
+		reps = append(reps, preVal+est.Value)
+	}
+	alpha := (1 - conf) / 2
+	lo := stats.Quantile(reps, alpha)
+	hi := stats.Quantile(reps, 1-alpha)
+	return Answer{
+		Estimate: aqp.Estimate{
+			Value:      point,
+			HalfWidth:  (hi - lo) / 2,
+			Confidence: conf,
+			SampleRows: n,
+		},
+		Pre:        pre,
+		PreValue:   preVal,
+		Candidates: considered,
+	}, nil
+}

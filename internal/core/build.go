@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/precompute"
+	"aqppp/internal/sample"
+)
+
+// BuildConfig drives the end-to-end AQP++ preprocessing pipeline
+// (§6.2 "Putting It All Together"): draw a sample, determine the BP-Cube
+// shape from per-dimension error profiles, hill-climb the partition
+// points per dimension, and build the cube over the full data.
+type BuildConfig struct {
+	// Template is the query template [SUM(Agg), Dims...].
+	Template cube.Template
+	// SampleRate is the uniform sampling rate (paper default 0.05%).
+	SampleRate float64
+	// SubsampleRate is the identification subsample's share of the
+	// sample; 0 selects the paper's 1/4^d rule (§5.2), floored so the
+	// subsample keeps at least 64 rows when available.
+	SubsampleRate float64
+	// CellBudget is the BP-Cube cell threshold k.
+	CellBudget int
+	// Confidence is the CI level (default 0.95).
+	Confidence float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Mode selects the hill-climbing adjustment (default Global).
+	Mode precompute.AdjustMode
+	// ProfileAnchors is the number of error-profile anchor budgets per
+	// dimension (paper's m, default 8).
+	ProfileAnchors int
+	// MaxIterations caps hill climbing per dimension (default 50).
+	MaxIterations int
+	// EqualPartitionOnly skips hill climbing (the ablation baseline).
+	EqualPartitionOnly bool
+	// WithCountCube additionally builds a COUNT cube over the same
+	// partition points, enabling AVG answers.
+	WithCountCube bool
+	// WithMinMax additionally builds one exact range-extrema index per
+	// template dimension, enabling MIN/MAX answers (§8 future work).
+	WithMinMax bool
+	// PrebuiltSample reuses an existing sample (so AQP and AQP++ compare
+	// on identical samples, as in the paper's setup); when set,
+	// SampleRate is ignored.
+	PrebuiltSample *sample.Sample
+}
+
+// BuildStats reports preprocessing cost (Table 1's metrics).
+type BuildStats struct {
+	SampleTime   time.Duration
+	OptimizeTime time.Duration
+	CubeTime     time.Duration
+	SampleBytes  int64
+	CubeBytes    int64
+	Shape        []int
+}
+
+// TotalTime returns the full preprocessing wall time.
+func (b BuildStats) TotalTime() time.Duration {
+	return b.SampleTime + b.OptimizeTime + b.CubeTime
+}
+
+// TotalBytes returns the full preprocessing space.
+func (b BuildStats) TotalBytes() int64 { return b.SampleBytes + b.CubeBytes }
+
+// Build runs the preprocessing pipeline and returns a ready Processor.
+func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
+	var st BuildStats
+	if len(cfg.Template.Dims) == 0 {
+		return nil, st, fmt.Errorf("core: template has no dimensions")
+	}
+	if cfg.CellBudget < 1 {
+		return nil, st, fmt.Errorf("core: cell budget %d < 1", cfg.CellBudget)
+	}
+	conf := cfg.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	anchors := cfg.ProfileAnchors
+	if anchors == 0 {
+		anchors = 8
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	climb := precompute.ClimbConfig{Mode: cfg.Mode, MaxIterations: maxIter}
+
+	// Stage 0: the sample.
+	t0 := time.Now()
+	s := cfg.PrebuiltSample
+	if s == nil {
+		var err error
+		s, err = sample.NewUniform(tbl, cfg.SampleRate, cfg.Seed)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	st.SampleTime = time.Since(t0)
+	st.SampleBytes = s.SizeBytes()
+
+	// Stage 1 (on the sample): shape + partition points.
+	t1 := time.Now()
+	d := len(cfg.Template.Dims)
+	views := make([]*precompute.View, d)
+	for i, dim := range cfg.Template.Dims {
+		v, err := precompute.NewView(s, cfg.Template.Agg, dim, conf)
+		if err != nil {
+			return nil, st, err
+		}
+		views[i] = v
+	}
+	var ks []int
+	if d == 1 {
+		ks = []int{cfg.CellBudget}
+	} else {
+		profiles := make([]*precompute.Profile, d)
+		for i, v := range views {
+			p, err := precompute.BuildProfile(v, cfg.CellBudget, anchors, climb)
+			if err != nil {
+				return nil, st, err
+			}
+			profiles[i] = p
+		}
+		shape, err := precompute.DetermineShape(profiles, cfg.CellBudget)
+		if err != nil {
+			return nil, st, err
+		}
+		ks = shape.Ks
+	}
+	points := make([][]float64, d)
+	for i, v := range views {
+		var cuts []int
+		var err error
+		if cfg.EqualPartitionOnly {
+			cuts, err = precompute.EqualPartition(v, ks[i])
+		} else {
+			var res precompute.ClimbResult
+			res, err = precompute.Optimize1D(v, ks[i], climb)
+			cuts = res.Cuts
+		}
+		if err != nil {
+			return nil, st, err
+		}
+		points[i], err = v.CutsToPoints(cuts)
+		if err != nil {
+			return nil, st, err
+		}
+		// Partition points chosen on the sample may not reach the full
+		// table's domain max; cube.Build appends it as needed.
+	}
+	st.OptimizeTime = time.Since(t1)
+
+	// Stage 2 (full data): build the cube(s).
+	t2 := time.Now()
+	c, err := cube.Build(tbl, cfg.Template, points)
+	if err != nil {
+		return nil, st, err
+	}
+	var cc *cube.BPCube
+	if cfg.WithCountCube && cfg.Template.Agg != "" {
+		cc, err = cube.Build(tbl, cube.Template{Agg: "", Dims: cfg.Template.Dims}, points)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	var mmIndexes []*cube.MinMaxIndex
+	if cfg.WithMinMax && cfg.Template.Agg != "" {
+		for _, dim := range cfg.Template.Dims {
+			mm, err := cube.BuildMinMax(tbl, cfg.Template.Agg, dim)
+			if err != nil {
+				return nil, st, err
+			}
+			mmIndexes = append(mmIndexes, mm)
+		}
+	}
+	st.CubeTime = time.Since(t2)
+	st.Shape = c.Shape() // actual per-dimension point counts (may be
+	// below the budgeted split when a dimension has few distinct values)
+	st.CubeBytes = c.SizeBytes()
+	if cc != nil {
+		st.CubeBytes += cc.SizeBytes()
+	}
+	for _, mm := range mmIndexes {
+		st.CubeBytes += mm.SizeBytes()
+	}
+
+	subRate := cfg.SubsampleRate
+	if subRate == 0 {
+		// The paper's 1/4^d rule assumes samples of hundreds of thousands
+		// of rows; at small sample sizes identification noise dominates,
+		// so keep at least 256 scoring rows (the ablation bench measures
+		// this trade-off).
+		subRate = 1 / math.Pow(4, float64(d))
+		if minRows := 256.0; subRate*float64(s.Size()) < minRows {
+			subRate = minRows / float64(s.Size())
+		}
+		if subRate > 1 {
+			subRate = 1
+		}
+	}
+	return &Processor{
+		Sample:     s,
+		Sub:        s.Subsample(subRate, cfg.Seed+1),
+		Cube:       c,
+		CountCube:  cc,
+		MinMax:     mmIndexes,
+		Confidence: conf,
+	}, st, nil
+}

@@ -1,0 +1,314 @@
+// Package core is the AQP++ query processor (§4 of the paper): it answers
+// aggregation queries by combining a precomputed BP-Cube with a sample,
+// estimating the *difference* between the user query and the identified
+// precomputed aggregate (Equation 4):
+//
+//	q(D) ≈ pre(D) + (q̂(S) − prê(S))
+//
+// With pre = φ it degenerates to plain AQP; with pre = q it returns the
+// exact precomputed answer — the unification property of §4.2.1.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aqppp/internal/aqp"
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/ident"
+	"aqppp/internal/sample"
+)
+
+// Processor answers queries for one query template using a sample and an
+// optional BP-Cube.
+type Processor struct {
+	// Sample is the full sample used for final estimates.
+	Sample *sample.Sample
+	// Sub is the identification subsample (§5.2); if nil, identification
+	// scores candidates on the full sample.
+	Sub *sample.Sample
+	// Cube is the SUM BP-Cube for the template; nil disables
+	// precomputation entirely (pure AQP).
+	Cube *cube.BPCube
+	// CountCube optionally holds a COUNT cube over the same partition
+	// points, enabling AQP++ AVG answers.
+	CountCube *cube.BPCube
+	// MinMax holds optional per-dimension range-extrema indexes for
+	// exact MIN/MAX answers (the §8 future-work direction: these
+	// aggregates are easy for precomputation and impossible for
+	// sampling).
+	MinMax []*cube.MinMaxIndex
+	// Confidence is the CI level (default 0.95 when zero).
+	Confidence float64
+}
+
+// Answer is an AQP++ query result.
+type Answer struct {
+	// Estimate is the point estimate and confidence interval.
+	Estimate aqp.Estimate
+	// Pre is the identified precomputed aggregate (φ when none helped).
+	Pre ident.Pre
+	// PreValue is pre(D), the exact precomputed constant that anchored
+	// the estimate.
+	PreValue float64
+	// Candidates is |P⁻|, the number of aggregates considered.
+	Candidates int
+}
+
+// GroupAnswer is one group's answer for group-by queries.
+type GroupAnswer struct {
+	Key    string
+	Answer Answer
+}
+
+func (p *Processor) confidence() float64 {
+	if p.Confidence == 0 {
+		return 0.95
+	}
+	return p.Confidence
+}
+
+func (p *Processor) subsample() *sample.Sample {
+	if p.Sub != nil {
+		return p.Sub
+	}
+	return p.Sample
+}
+
+// Answer answers a SUM, COUNT or AVG query. SUM/COUNT run the full AQP++
+// pipeline (identify pre on the subsample, estimate the diff on the full
+// sample, add pre(D)); AVG combines a SUM and a COUNT answer with a
+// delta-method interval (Appendix C).
+func (p *Processor) Answer(q engine.Query) (Answer, error) {
+	if len(q.GroupBy) > 0 {
+		return Answer{}, fmt.Errorf("core: use AnswerGroups for GROUP BY queries")
+	}
+	switch q.Func {
+	case engine.Sum:
+		return p.answerSum(q, p.Cube, q.Col)
+	case engine.Count:
+		return p.answerSum(q, p.countCube(), "")
+	case engine.Avg:
+		return p.answerAvg(q)
+	case engine.Min, engine.Max:
+		return p.answerMinMax(q)
+	default:
+		return Answer{}, fmt.Errorf("core: unsupported aggregate %v", q.Func)
+	}
+}
+
+// answerMinMax serves MIN/MAX exactly from a matching MinMaxIndex: the
+// query's range columns must all be the index's single dimension.
+func (p *Processor) answerMinMax(q engine.Query) (Answer, error) {
+	for _, idx := range p.MinMax {
+		if idx.Agg != q.Col {
+			continue
+		}
+		covered := true
+		for _, r := range q.Ranges {
+			if r.Col != idx.Dim {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		v, err := idx.Answer(q)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{
+			Estimate: aqp.Estimate{Value: v, Confidence: 1},
+			Pre:      ident.Pre{Phi: true},
+			PreValue: v,
+		}, nil
+	}
+	return Answer{}, fmt.Errorf("core: no MIN/MAX index covers %v (build one with WithMinMax)", q)
+}
+
+// countCube returns the COUNT cube if available.
+func (p *Processor) countCube() *cube.BPCube {
+	if p.CountCube != nil {
+		return p.CountCube
+	}
+	if p.Cube != nil && p.Cube.Template.Agg == "" {
+		return p.Cube
+	}
+	return nil
+}
+
+// answerSum runs the SUM/COUNT pipeline against the given cube. cubeAgg
+// is the aggregate column the cube must match ("" for COUNT).
+func (p *Processor) answerSum(q engine.Query, c *cube.BPCube, cubeAgg string) (Answer, error) {
+	conf := p.confidence()
+	if c == nil || c.Template.Agg != cubeAgg {
+		// No usable cube: plain AQP (pre = φ).
+		est, err := aqp.EstimateSum(p.Sample, q, conf)
+		if err != nil {
+			return Answer{}, err
+		}
+		return Answer{Estimate: est, Pre: ident.Pre{Phi: true}, Candidates: 1}, nil
+	}
+	sel, err := ident.SelectBest(c, q, p.subsample(), conf)
+	if err != nil {
+		return Answer{}, err
+	}
+	vals, err := ident.DiffVector(p.Sample, c, q, sel.Pre)
+	if err != nil {
+		return Answer{}, err
+	}
+	diff := aqp.SumOfValues(p.Sample, vals, conf)
+	pre := sel.Pre
+	// Identification scored candidates on a small subsample; guard the
+	// final answer by re-checking the chosen pre against φ on the full
+	// sample (error(q, P) minimizes over P⁺, and φ ∈ P⁺ — a noisy
+	// subsample must not leave us worse than plain AQP).
+	if !pre.IsPhi() {
+		phiVals, err := aqp.ConditionVector(p.Sample, q)
+		if err != nil {
+			return Answer{}, err
+		}
+		phiEst := aqp.SumOfValues(p.Sample, phiVals, conf)
+		if phiEst.HalfWidth < diff.HalfWidth {
+			pre = ident.Pre{Phi: true}
+			diff = phiEst
+		}
+	}
+	preVal := pre.Value(c)
+	return Answer{
+		Estimate: aqp.Estimate{
+			Value:      preVal + diff.Value,
+			HalfWidth:  diff.HalfWidth,
+			Confidence: conf,
+			SampleRows: diff.SampleRows,
+		},
+		Pre:        pre,
+		PreValue:   preVal,
+		Candidates: sel.Considered,
+	}, nil
+}
+
+// answerAvg answers AVG as the ratio of an AQP++ SUM and an AQP++ COUNT.
+// The interval uses linearization: Var(R̂) ≈ Var(D̂_s − R̂·D̂_c)/T̂² where
+// D̂_s, D̂_c are the two diff estimators (the pre constants carry no
+// variance).
+func (p *Processor) answerAvg(q engine.Query) (Answer, error) {
+	conf := p.confidence()
+	sumQ := q
+	sumQ.Func = engine.Sum
+	cntQ := q
+	cntQ.Func = engine.Count
+	sumAns, err := p.answerSum(sumQ, p.Cube, q.Col)
+	if err != nil {
+		return Answer{}, err
+	}
+	cntAns, err := p.answerSum(cntQ, p.countCube(), "")
+	if err != nil {
+		return Answer{}, err
+	}
+	if cntAns.Estimate.Value == 0 {
+		return Answer{
+			Estimate: aqp.Estimate{Confidence: conf, SampleRows: p.Sample.Size()},
+			Pre:      sumAns.Pre,
+		}, nil
+	}
+	r := sumAns.Estimate.Value / cntAns.Estimate.Value
+	// Residual diff vector: (a_i − R̂)·(cond_q − cond_pre) terms from the
+	// two pipelines.
+	sumVals, err := p.diffOrCond(sumQ, p.Cube, sumAns.Pre)
+	if err != nil {
+		return Answer{}, err
+	}
+	cntVals, err := p.diffOrCond(cntQ, p.countCube(), cntAns.Pre)
+	if err != nil {
+		return Answer{}, err
+	}
+	resid := make([]float64, len(sumVals))
+	for i := range resid {
+		resid[i] = sumVals[i] - r*cntVals[i]
+	}
+	re := aqp.SumOfValues(p.Sample, resid, conf)
+	return Answer{
+		Estimate: aqp.Estimate{
+			Value:      r,
+			HalfWidth:  re.HalfWidth / math.Abs(cntAns.Estimate.Value),
+			Confidence: conf,
+			SampleRows: p.Sample.Size(),
+		},
+		Pre:        sumAns.Pre,
+		PreValue:   sumAns.PreValue,
+		Candidates: sumAns.Candidates + cntAns.Candidates,
+	}, nil
+}
+
+// diffOrCond returns the diff vector for the pre chosen earlier, falling
+// back to the plain condition vector when no cube backs the pre.
+func (p *Processor) diffOrCond(q engine.Query, c *cube.BPCube, pre ident.Pre) ([]float64, error) {
+	if c == nil || pre.IsPhi() {
+		return aqp.ConditionVector(p.Sample, q)
+	}
+	return ident.DiffVector(p.Sample, c, q, pre)
+}
+
+// AnswerGroups answers a group-by query (Appendix C): each group observed
+// in the sample is answered through the scalar pipeline with the group
+// pinned via equality ranges on the group-by columns. When the group-by
+// attributes are cube dimensions whose values align with partition
+// points, each group's pre region pins them exactly; otherwise the pre
+// simply does not restrict them (still unbiased, higher variance, and the
+// subsample scoring arbitrates against φ).
+func (p *Processor) AnswerGroups(q engine.Query) ([]GroupAnswer, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("core: AnswerGroups needs GROUP BY")
+	}
+	cols := make([]*engine.Column, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		c, err := p.Sample.Table.Column(g)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	n := p.Sample.Size()
+	type groupInfo struct {
+		ords []float64
+	}
+	seen := map[string]groupInfo{}
+	var order []string
+	for i := 0; i < n; i++ {
+		key := engine.GroupKey(cols, i)
+		if _, ok := seen[key]; !ok {
+			ords := make([]float64, len(cols))
+			for j, c := range cols {
+				ords[j] = c.Ordinal(i)
+			}
+			seen[key] = groupInfo{ords: ords}
+			order = append(order, key)
+		}
+	}
+	out := make([]GroupAnswer, 0, len(order))
+	for _, key := range order {
+		gi := seen[key]
+		gq := q
+		gq.GroupBy = nil
+		gq.Ranges = append(append([]engine.Range(nil), q.Ranges...), pinRanges(q.GroupBy, gi.ords)...)
+		ans, err := p.Answer(gq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GroupAnswer{Key: key, Answer: ans})
+	}
+	return out, nil
+}
+
+// pinRanges builds equality ranges pinning each group column to one
+// ordinal.
+func pinRanges(cols []string, ords []float64) []engine.Range {
+	rs := make([]engine.Range, len(cols))
+	for i := range cols {
+		rs[i] = engine.Range{Col: cols[i], Lo: ords[i], Hi: ords[i]}
+	}
+	return rs
+}

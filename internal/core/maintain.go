@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/sample"
+	"aqppp/internal/stats"
+)
+
+// Maintainer implements the data-update extension (Appendix C): as rows
+// are appended to the base table it incrementally maintains both halves
+// of the AQP++ state — the BP-Cube(s) via prefix-cell updates (a
+// materialized-view maintenance problem with an incremental algorithm for
+// SUM/COUNT) and the uniform sample via Bernoulli inclusion at the
+// sample's current rate.
+//
+// Limitations, by design of the underlying structures: the processor's
+// sample must be uniform (stratified/measure-biased samples need their
+// own maintenance policies), and string dimension columns cannot receive
+// previously unseen values (a new dictionary entry would shift the
+// ordinal ranks the cube's partition points were defined over).
+type Maintainer struct {
+	tbl  *engine.Table
+	proc *Processor
+	rng  *stats.RNG
+	rate float64
+	// aggIdx / dimIdx cache column positions for the hot insert path.
+	aggCol  *engine.Column
+	dimCols []*engine.Column
+	// inserted counts maintained rows, for reporting.
+	inserted int
+}
+
+// NewMaintainer wraps a processor built over tbl. The sampling rate is
+// inferred from the processor's sample.
+func NewMaintainer(tbl *engine.Table, proc *Processor, seed uint64) (*Maintainer, error) {
+	if proc.Cube == nil {
+		return nil, fmt.Errorf("core: maintainer needs a processor with a cube")
+	}
+	if proc.Sample.Kind != sample.Uniform {
+		return nil, fmt.Errorf("core: maintainer supports uniform samples, got %v", proc.Sample.Kind)
+	}
+	m := &Maintainer{
+		tbl:  tbl,
+		proc: proc,
+		rng:  stats.NewRNG(seed),
+		rate: proc.Sample.Rate(),
+	}
+	if proc.Cube.Template.Agg != "" {
+		c, err := tbl.Column(proc.Cube.Template.Agg)
+		if err != nil {
+			return nil, err
+		}
+		m.aggCol = c
+	}
+	for _, d := range proc.Cube.Template.Dims {
+		c, err := tbl.Column(d)
+		if err != nil {
+			return nil, err
+		}
+		m.dimCols = append(m.dimCols, c)
+	}
+	return m, nil
+}
+
+// Insert appends one row (schema order, as engine.Table.AppendRow) and
+// maintains the cube(s) and the sample.
+func (m *Maintainer) Insert(vals ...interface{}) error {
+	// Reject unseen string dimension values up front (see type comment).
+	for i, c := range m.tbl.Columns {
+		if c.Type != engine.String {
+			continue
+		}
+		s, ok := vals[i].(string)
+		if !ok {
+			continue // AppendRow will report the type error
+		}
+		if m.isCubeDim(c.Name) && !dictContains(c, s) {
+			return fmt.Errorf("core: new value %q for string dimension %q would shift cube ordinals", s, c.Name)
+		}
+	}
+	if err := m.tbl.AppendRow(vals...); err != nil {
+		return err
+	}
+	row := m.tbl.NumRows() - 1
+
+	// Cube maintenance.
+	ords := make([]float64, len(m.dimCols))
+	for i, c := range m.dimCols {
+		ords[i] = c.Ordinal(row)
+		m.proc.Cube.ExtendDomain(i, ords[i])
+		if m.proc.CountCube != nil {
+			m.proc.CountCube.ExtendDomain(i, ords[i])
+		}
+	}
+	v := 1.0
+	if m.aggCol != nil {
+		v = m.aggCol.Float(row)
+	}
+	if err := m.proc.Cube.Insert(ords, v); err != nil {
+		return err
+	}
+	if m.proc.CountCube != nil {
+		if err := m.proc.CountCube.Insert(ords, 1); err != nil {
+			return err
+		}
+	}
+
+	// Sample maintenance: Bernoulli inclusion at the standing rate keeps
+	// every row's inclusion probability ≈ rate; before answering, the
+	// weights are refreshed to the current table size (see refresh).
+	if m.rng.Float64() < m.rate {
+		s := m.proc.Sample
+		for _, col := range m.tbl.Columns {
+			sc, err := s.Table.Column(col.Name)
+			if err != nil {
+				return err
+			}
+			sc.AppendFrom(col, row)
+		}
+		s.InvP = append(s.InvP, 0) // refreshed below
+	}
+	m.inserted++
+	m.refresh()
+	return nil
+}
+
+// refresh re-synchronizes the sample's weights and population size with
+// the grown table (uniform estimator: InvP = N for every row), and
+// refreshes the identification subsample.
+func (m *Maintainer) refresh() {
+	s := m.proc.Sample
+	s.SourceRows = m.tbl.NumRows()
+	n := float64(s.SourceRows)
+	for i := range s.InvP {
+		s.InvP[i] = n
+	}
+	if m.proc.Sub != nil {
+		m.proc.Sub.SourceRows = s.SourceRows
+		for i := range m.proc.Sub.InvP {
+			m.proc.Sub.InvP[i] = n
+		}
+	}
+}
+
+// Inserted returns the number of rows maintained so far.
+func (m *Maintainer) Inserted() int { return m.inserted }
+
+func (m *Maintainer) isCubeDim(name string) bool {
+	for _, d := range m.proc.Cube.Template.Dims {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+func dictContains(c *engine.Column, s string) bool {
+	for _, d := range c.Dict {
+		if d == s {
+			return true
+		}
+	}
+	return false
+}

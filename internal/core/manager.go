@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/precompute"
+	"aqppp/internal/sample"
+)
+
+// Manager serves several query templates over one table with one shared
+// sample, splitting a total BP-Cube cell budget across the templates with
+// the error-profile-driven allocation of Appendix C ("Multiple Query
+// Templates") and routing each incoming query to the template that covers
+// it best.
+type Manager struct {
+	Sample     *sample.Sample
+	Templates  []cube.Template
+	Budgets    []int
+	Processors []*Processor
+}
+
+// ManagerConfig configures BuildManager.
+type ManagerConfig struct {
+	// Templates are the query templates to serve.
+	Templates []cube.Template
+	// TotalCells is the combined cell budget k split across templates.
+	TotalCells int
+	// SampleRate, Confidence, Seed, Mode as in BuildConfig.
+	SampleRate float64
+	Confidence float64
+	Seed       uint64
+	Mode       precompute.AdjustMode
+	// PrebuiltSample reuses an existing uniform sample.
+	PrebuiltSample *sample.Sample
+}
+
+// BuildManager allocates the budget and builds one processor per
+// template.
+func BuildManager(tbl *engine.Table, cfg ManagerConfig) (*Manager, error) {
+	if len(cfg.Templates) == 0 {
+		return nil, fmt.Errorf("core: manager needs at least one template")
+	}
+	if cfg.TotalCells < len(cfg.Templates) {
+		return nil, fmt.Errorf("core: budget %d below one cell per template", cfg.TotalCells)
+	}
+	conf := cfg.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	s := cfg.PrebuiltSample
+	if s == nil {
+		var err error
+		s, err = sample.NewUniform(tbl, cfg.SampleRate, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	climb := precompute.ClimbConfig{Mode: cfg.Mode, MaxIterations: 30}
+
+	// Per-template error-at-budget functions from cached dimension
+	// profiles: err_t(b) = the shape search's achieved error bound.
+	errFns := make([]func(int) float64, len(cfg.Templates))
+	for t, tmpl := range cfg.Templates {
+		profiles := make([]*precompute.Profile, len(tmpl.Dims))
+		for i, dim := range tmpl.Dims {
+			v, err := precompute.NewView(s, tmpl.Agg, dim, conf)
+			if err != nil {
+				return nil, err
+			}
+			p, err := precompute.BuildProfile(v, cfg.TotalCells, 6, climb)
+			if err != nil {
+				return nil, err
+			}
+			profiles[i] = p
+		}
+		errFns[t] = func(b int) float64 {
+			res, err := precompute.DetermineShape(profiles, b)
+			if err != nil {
+				return 0
+			}
+			return res.Err
+		}
+	}
+	budgets, err := precompute.AllocateBudget(errFns, cfg.TotalCells)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{Sample: s, Templates: cfg.Templates, Budgets: budgets}
+	for t, tmpl := range cfg.Templates {
+		proc, _, err := Build(tbl, BuildConfig{
+			Template:       tmpl,
+			CellBudget:     budgets[t],
+			Confidence:     conf,
+			Seed:           cfg.Seed + uint64(t) + 1,
+			Mode:           cfg.Mode,
+			PrebuiltSample: s,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Processors = append(m.Processors, proc)
+	}
+	return m, nil
+}
+
+// Route returns the index of the template best matching the query: the
+// one whose dimensions cover the most of the query's range columns, with
+// ties broken toward fewer template dimensions (a tighter cube).
+func (m *Manager) Route(q engine.Query) int {
+	best := 0
+	bestCover := -1
+	bestDims := 1 << 30
+	for t, tmpl := range m.Templates {
+		if tmpl.Agg != q.Col && !(q.Func == engine.Count && tmpl.Agg == "") {
+			continue
+		}
+		cover := 0
+		for _, r := range q.Ranges {
+			for _, d := range tmpl.Dims {
+				if d == r.Col {
+					cover++
+					break
+				}
+			}
+		}
+		if cover > bestCover || (cover == bestCover && len(tmpl.Dims) < bestDims) {
+			best = t
+			bestCover = cover
+			bestDims = len(tmpl.Dims)
+		}
+	}
+	return best
+}
+
+// Answer routes the query and answers it with the selected template's
+// processor.
+func (m *Manager) Answer(q engine.Query) (Answer, int, error) {
+	t := m.Route(q)
+	ans, err := m.Processors[t].Answer(q)
+	return ans, t, err
+}

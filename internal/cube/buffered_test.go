@@ -1,0 +1,167 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/stats"
+)
+
+func TestBufferedMatchesEagerInsert(t *testing.T) {
+	tbl := randomTable(2, 1000, 20, 40)
+	tmpl := Template{Agg: "a", Dims: dims(2)}
+	points := [][]float64{{5, 10, 15, 20}, {7, 14, 20}}
+	eager, err := Build(tbl, tmpl, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Build(tbl, tmpl, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffered(base, 1000) // threshold above insert count: stays buffered
+	r := stats.NewRNG(41)
+	for i := 0; i < 200; i++ {
+		ords := []float64{float64(r.Intn(20) + 1), float64(r.Intn(20) + 1)}
+		v := r.Float64() * 10
+		if err := eager.Insert(ords, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := buf.Insert(ords, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.PendingRows() != 200 {
+		t.Fatalf("pending = %d", buf.PendingRows())
+	}
+	// Compare answers across random regions while the log is unmerged.
+	compareRegions(t, eager, buf, 30, 42)
+	// And again after compaction.
+	buf.Compact()
+	if buf.PendingRows() != 0 {
+		t.Fatal("compaction left pending rows")
+	}
+	compareRegions(t, eager, buf, 30, 43)
+	for i := range eager.Cells {
+		if math.Abs(eager.Cells[i]-buf.Cube.Cells[i]) > 1e-9 {
+			t.Fatalf("cell %d: eager %v != compacted %v", i, eager.Cells[i], buf.Cube.Cells[i])
+		}
+	}
+	if eager.SourceRows != buf.Cube.SourceRows {
+		t.Errorf("SourceRows %d != %d", eager.SourceRows, buf.Cube.SourceRows)
+	}
+}
+
+func compareRegions(t *testing.T, eager *BPCube, buf *Buffered, trials int, seed uint64) {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	d := eager.Dims()
+	for q := 0; q < trials; q++ {
+		lo := make([]int, d)
+		hi := make([]int, d)
+		for i := 0; i < d; i++ {
+			k := len(eager.Points[i])
+			lo[i] = r.Intn(k+1) - 1
+			hi[i] = lo[i] + r.Intn(k-lo[i])
+			if hi[i] < 0 {
+				hi[i] = 0
+				lo[i] = 0
+			}
+		}
+		want := eager.RangeSum(lo, hi)
+		got := buf.RangeSum(lo, hi)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("region %v-%v: buffered %v != eager %v", lo, hi, got, want)
+		}
+	}
+}
+
+func TestBufferedAutoCompact(t *testing.T) {
+	tbl := randomTable(1, 500, 10, 44)
+	base, err := Build(tbl, Template{Agg: "a", Dims: dims(1)}, [][]float64{{5, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffered(base, 50)
+	for i := 0; i < 120; i++ {
+		if err := buf.Insert([]float64{float64(i%10 + 1)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two compactions happened; at most threshold-1 rows remain.
+	if buf.PendingRows() >= 50 {
+		t.Errorf("pending = %d, threshold 50", buf.PendingRows())
+	}
+	truth := base.TotalSum() // already includes compacted rows
+	for range buf.logVals {
+		truth++
+	}
+	_ = truth
+	if got := buf.TotalSum(); got != base.TotalSum()+float64(buf.PendingRows()) {
+		t.Errorf("TotalSum = %v", got)
+	}
+}
+
+func TestBufferedDomainGrowth(t *testing.T) {
+	tbl := randomTable(1, 100, 10, 45)
+	base, err := Build(tbl, Template{Agg: "a", Dims: dims(1)}, [][]float64{{5, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := NewBuffered(base, 10)
+	// Ordinal beyond the old domain must be absorbed, not dropped.
+	before := buf.TotalSum()
+	if err := buf.Insert([]float64{99}, 7); err != nil {
+		t.Fatal(err)
+	}
+	buf.Compact()
+	if got := buf.TotalSum(); math.Abs(got-(before+7)) > 1e-9 {
+		t.Errorf("TotalSum = %v, want %v", got, before+7)
+	}
+}
+
+func TestBufferedInsertValidation(t *testing.T) {
+	tbl := randomTable(2, 50, 10, 46)
+	base, _ := Build(tbl, Template{Agg: "a", Dims: dims(2)}, [][]float64{{5, 10}, {5, 10}})
+	buf := NewBuffered(base, 10)
+	if err := buf.Insert([]float64{1}, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+// BenchmarkEagerInsert vs BenchmarkBufferedInsert quantify the update
+// cost gap the buffer exists for.
+func BenchmarkEagerInsert(b *testing.B) {
+	tbl := randomTable(2, 1000, 100, 47)
+	c, _ := Build(tbl, Template{Agg: "a", Dims: dims(2)},
+		[][]float64{equalSpaced(64, 100), equalSpaced(64, 100)})
+	ords := []float64{3, 3} // worst case: dominates nearly every cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(ords, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferedInsert(b *testing.B) {
+	tbl := randomTable(2, 1000, 100, 48)
+	c, _ := Build(tbl, Template{Agg: "a", Dims: dims(2)},
+		[][]float64{equalSpaced(64, 100), equalSpaced(64, 100)})
+	buf := NewBuffered(c, 4096)
+	ords := []float64{3, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Insert(ords, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func equalSpaced(k, dom int) []float64 {
+	pts := make([]float64, k)
+	for i := range pts {
+		pts[i] = float64((i + 1) * dom / k)
+	}
+	return pts
+}

@@ -1,0 +1,176 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"aqppp/internal/engine"
+)
+
+// BuildFull constructs the complete P-Cube (Definition 2): the partition
+// points of every dimension are all of its distinct ordinal values, so any
+// range query over the template is answered exactly. This is the AggPre
+// baseline of Table 1; its cell count is ∏|dom(C_i)|, which is why the
+// paper reports ">10 TB / >1 day" at their scale.
+func BuildFull(tbl *engine.Table, tmpl Template) (*BPCube, error) {
+	points := make([][]float64, len(tmpl.Dims))
+	for i, d := range tmpl.Dims {
+		col, err := tbl.Column(d)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = distinctOrdinals(col)
+	}
+	c, err := Build(tbl, tmpl, points)
+	if err != nil {
+		return nil, err
+	}
+	c.Full = true
+	return c, nil
+}
+
+// distinctOrdinals returns the sorted distinct ordinals of a column.
+func distinctOrdinals(col *engine.Column) []float64 {
+	n := col.Len()
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = col.Ordinal(i)
+	}
+	sort.Float64s(vals)
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AnswerExact answers a range query exactly from the cube, or reports
+// ok=false when the query's endpoints do not align with partition points
+// (a BP-Cube can only answer the aligned subset; the full P-Cube answers
+// everything). Dimensions of the template absent from the query are
+// treated as unrestricted. Extra query dimensions outside the template
+// make the query unanswerable.
+func (c *BPCube) AnswerExact(q engine.Query) (float64, bool) {
+	if q.Func != engine.Sum && q.Func != engine.Count {
+		return 0, false
+	}
+	if q.Func == engine.Count && c.Template.Agg != "" {
+		return 0, false
+	}
+	if q.Func == engine.Sum && q.Col != c.Template.Agg {
+		return 0, false
+	}
+	d := c.Dims()
+	lo := make([]int, d)
+	hi := make([]int, d)
+	for i := range hi {
+		lo[i] = -1
+		hi[i] = len(c.Points[i]) - 1
+	}
+	for _, r := range q.Ranges {
+		dim := -1
+		for i, name := range c.Template.Dims {
+			if name == r.Col {
+				dim = i
+				break
+			}
+		}
+		if dim < 0 {
+			return 0, false
+		}
+		// The region (t_lo, t_hi] must equal [r.Lo, r.Hi] restricted to
+		// the data. On a full P-Cube every distinct ordinal is a point,
+		// so nothing can hide between points and arbitrary endpoints
+		// resolve by rounding inward. On a blocked cube we require exact
+		// alignment in the paper's integer-domain sense: r.Lo-1 and r.Hi
+		// must be partition points (pre = SUM(t+1 : t')), with r.Hi
+		// beyond the last point clamping to it.
+		var loIdx, hiIdx int
+		if c.Full {
+			p := c.Points[dim]
+			hiIdx = sort.Search(len(p), func(i int) bool { return p[i] > r.Hi }) - 1 // largest point <= Hi
+			if hiIdx < 0 {
+				return 0, true // no data at or below Hi
+			}
+			loIdx = sort.SearchFloat64s(p, r.Lo) - 1 // largest point < Lo
+		} else {
+			p := c.Points[dim]
+			var ok bool
+			hiIdx, ok = c.PointIndex(dim, r.Hi)
+			if !ok {
+				if r.Hi >= p[len(p)-1] {
+					hiIdx = len(p) - 1
+				} else {
+					return 0, false
+				}
+			}
+			loIdx, ok = c.PointIndex(dim, r.Lo-1)
+			if !ok {
+				return 0, false
+			}
+		}
+		if loIdx > lo[dim] {
+			lo[dim] = loIdx
+		}
+		if hiIdx < hi[dim] {
+			hi[dim] = hiIdx
+		}
+		if lo[dim] > hi[dim] {
+			return 0, true // provably empty intersection
+		}
+	}
+	return c.RangeSum(lo, hi), true
+}
+
+// ExtendDomain raises dimension dim's last partition point to cover ord
+// (a no-op when ord is already covered). Growing data can exceed the
+// domain the cube was built over; because the last point always carries
+// the full-domain prefix (footnote 5), sliding it outward preserves every
+// cell's meaning.
+func (c *BPCube) ExtendDomain(dim int, ord float64) {
+	p := c.Points[dim]
+	if ord > p[len(p)-1] {
+		p[len(p)-1] = ord
+	}
+}
+
+// Insert incrementally maintains the cube for one new row (Appendix C,
+// "Data Updates"): the row's aggregate value is added to every prefix
+// cell whose corner dominates the row's ordinals. Cost is O(∏ k_i) in the
+// worst case but proportional to the dominated sub-grid in practice.
+func (c *BPCube) Insert(ordinals []float64, value float64) error {
+	d := c.Dims()
+	if len(ordinals) != d {
+		return fmt.Errorf("cube: Insert got %d ordinals for %d dims", len(ordinals), d)
+	}
+	start := make([]int, d)
+	for i, ord := range ordinals {
+		j := sort.SearchFloat64s(c.Points[i], ord) // first point >= ord
+		if j == len(c.Points[i]) {
+			return fmt.Errorf("cube: ordinal %v above dim %d's last partition point", ord, i)
+		}
+		start[i] = j
+	}
+	// Walk the dominated sub-grid [start_i, k_i) in odometer order.
+	idx := make([]int, d)
+	copy(idx, start)
+	for {
+		c.Cells[c.cellIndex(idx)] += value
+		a := d - 1
+		for a >= 0 {
+			idx[a]++
+			if idx[a] < len(c.Points[a]) {
+				break
+			}
+			idx[a] = start[a]
+			a--
+		}
+		if a < 0 {
+			break
+		}
+	}
+	c.SourceRows++
+	return nil
+}

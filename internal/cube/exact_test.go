@@ -1,0 +1,212 @@
+package cube
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func TestBuildFullAnswersEverything(t *testing.T) {
+	r := stats.NewRNG(11)
+	tbl := randomTable(2, 400, 15, 11)
+	c, err := BuildFull(tbl, Template{Agg: "a", Dims: dims(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var ranges []engine.Range
+		for _, d := range dims(2) {
+			lo := float64(r.Intn(15) + 1)
+			hi := lo + float64(r.Intn(15))
+			ranges = append(ranges, engine.Range{Col: d, Lo: lo, Hi: hi})
+		}
+		q := engine.Query{Func: engine.Sum, Col: "a", Ranges: ranges}
+		truth, _ := tbl.Execute(q)
+		got, ok := c.AnswerExact(q)
+		if !ok {
+			t.Fatalf("full cube failed to answer %v", q)
+		}
+		if math.Abs(got-truth.Value) > 1e-6 {
+			t.Fatalf("AnswerExact = %v, want %v for %v", got, truth.Value, q)
+		}
+	}
+}
+
+func TestAnswerExactPartialDims(t *testing.T) {
+	tbl := randomTable(2, 300, 10, 12)
+	c, err := BuildFull(tbl, Template{Agg: "a", Dims: dims(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restrict only the first dimension; the second is unrestricted.
+	q := engine.Query{Func: engine.Sum, Col: "a", Ranges: []engine.Range{{Col: dimName(0), Lo: 3, Hi: 7}}}
+	truth, _ := tbl.Execute(q)
+	got, ok := c.AnswerExact(q)
+	if !ok {
+		t.Fatal("partial-dim query rejected")
+	}
+	if math.Abs(got-truth.Value) > 1e-6 {
+		t.Errorf("AnswerExact = %v, want %v", got, truth.Value)
+	}
+}
+
+func TestAnswerExactRejectsMisaligned(t *testing.T) {
+	tbl := randomTable(1, 200, 100, 13)
+	c, err := Build(tbl, Template{Agg: "a", Dims: dims(1)}, [][]float64{{20, 40, 60, 80, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right endpoint 50 is not a partition point.
+	q := engine.Query{Func: engine.Sum, Col: "a", Ranges: []engine.Range{{Col: dimName(0), Lo: 21, Hi: 50}}}
+	if _, ok := c.AnswerExact(q); ok {
+		t.Error("misaligned query answered")
+	}
+	// Aligned: (20, 60] == [21, 60] for integer ordinals.
+	q.Ranges[0].Hi = 60
+	got, ok := c.AnswerExact(q)
+	if !ok {
+		t.Fatal("aligned query rejected")
+	}
+	truth, _ := tbl.Execute(q)
+	if math.Abs(got-truth.Value) > 1e-6 {
+		t.Errorf("aligned answer = %v, want %v", got, truth.Value)
+	}
+}
+
+func TestAnswerExactRejectsWrongQueries(t *testing.T) {
+	tbl := randomTable(1, 100, 10, 14)
+	c, _ := BuildFull(tbl, Template{Agg: "a", Dims: dims(1)})
+	if _, ok := c.AnswerExact(engine.Query{Func: engine.Avg, Col: "a"}); ok {
+		t.Error("AVG answered by SUM cube")
+	}
+	if _, ok := c.AnswerExact(engine.Query{Func: engine.Sum, Col: "other"}); ok {
+		t.Error("wrong measure answered")
+	}
+	if _, ok := c.AnswerExact(engine.Query{Func: engine.Count}); ok {
+		t.Error("COUNT answered by SUM cube")
+	}
+	q := engine.Query{Func: engine.Sum, Col: "a", Ranges: []engine.Range{{Col: "unknown", Lo: 1, Hi: 2}}}
+	if _, ok := c.AnswerExact(q); ok {
+		t.Error("unknown dimension answered")
+	}
+}
+
+func TestAnswerExactEmptyIntersection(t *testing.T) {
+	tbl := randomTable(1, 100, 10, 15)
+	c, _ := BuildFull(tbl, Template{Agg: "a", Dims: dims(1)})
+	q := engine.Query{Func: engine.Sum, Col: "a", Ranges: []engine.Range{
+		{Col: dimName(0), Lo: 1, Hi: 3},
+		{Col: dimName(0), Lo: 8, Hi: 10},
+	}}
+	got, ok := c.AnswerExact(q)
+	if !ok || got != 0 {
+		t.Errorf("contradictory ranges: got %v ok=%v, want 0 true", got, ok)
+	}
+}
+
+func TestInsertMatchesRebuild(t *testing.T) {
+	tbl := randomTable(2, 200, 10, 16)
+	tmpl := Template{Agg: "a", Dims: dims(2)}
+	points := [][]float64{{3, 6, 10}, {5, 10}}
+	c, err := Build(tbl, tmpl, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert 30 new rows incrementally, then rebuild from an extended
+	// table and compare cells.
+	r := stats.NewRNG(17)
+	newA := append([]float64(nil), tbl.MustColumn("a").Floats...)
+	newC := append([]int64(nil), tbl.MustColumn(dimName(0)).Ints...)
+	newD := append([]int64(nil), tbl.MustColumn(dimName(1)).Ints...)
+	for i := 0; i < 30; i++ {
+		v := math.Floor(r.Float64()*100) / 10
+		o1 := int64(r.Intn(10) + 1)
+		o2 := int64(r.Intn(10) + 1)
+		if err := c.Insert([]float64{float64(o1), float64(o2)}, v); err != nil {
+			t.Fatal(err)
+		}
+		newA = append(newA, v)
+		newC = append(newC, o1)
+		newD = append(newD, o2)
+	}
+	tbl2 := engine.MustNewTable("t2",
+		engine.NewFloatColumn("a", newA),
+		engine.NewIntColumn(dimName(0), newC),
+		engine.NewIntColumn(dimName(1), newD),
+	)
+	c2, err := Build(tbl2, tmpl, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SourceRows != c2.SourceRows {
+		t.Errorf("SourceRows %d != %d", c.SourceRows, c2.SourceRows)
+	}
+	for i := range c.Cells {
+		if math.Abs(c.Cells[i]-c2.Cells[i]) > 1e-9 {
+			t.Fatalf("cell %d: %v != %v", i, c.Cells[i], c2.Cells[i])
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := randomTable(1, 50, 10, 18)
+	c, _ := Build(tbl, Template{Agg: "a", Dims: dims(1)}, [][]float64{{5, 10}})
+	if err := c.Insert([]float64{1, 2}, 1); err == nil {
+		t.Error("wrong ordinal count accepted")
+	}
+	if err := c.Insert([]float64{99}, 1); err == nil {
+		t.Error("out-of-domain ordinal accepted")
+	}
+}
+
+func TestCubeBinaryRoundTrip(t *testing.T) {
+	tbl := randomTable(3, 300, 8, 19)
+	c, err := Build(tbl, Template{Agg: "a", Dims: dims(3)}, [][]float64{{4, 8}, {2, 5, 8}, {8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Template.Agg != c.Template.Agg || len(got.Template.Dims) != 3 {
+		t.Error("template lost")
+	}
+	if got.SourceRows != c.SourceRows {
+		t.Error("source rows lost")
+	}
+	for i := range c.Cells {
+		if got.Cells[i] != c.Cells[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+	// Strides must be usable after deserialization.
+	lo := []int{-1, 0, -1}
+	hi := []int{1, 2, 0}
+	if got.RangeSum(lo, hi) != c.RangeSum(lo, hi) {
+		t.Error("RangeSum differs after round trip")
+	}
+}
+
+func TestCubeBinaryCorruption(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	tbl := randomTable(1, 50, 10, 20)
+	c, _ := Build(tbl, Template{Agg: "a", Dims: dims(1)}, [][]float64{{5, 10}})
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-5])); err == nil {
+		t.Error("truncated cube accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package cube
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+var cubeMagic = [4]byte{'A', 'Q', 'P', 'C'}
+
+const cubeFormatVersion = 1
+
+// WriteBinary serializes the cube in a compact little-endian format so a
+// precomputed BP-Cube can be stored alongside its sample.
+func (c *BPCube) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(cubeMagic[:]); err != nil {
+		return err
+	}
+	if err := wuv(bw, cubeFormatVersion); err != nil {
+		return err
+	}
+	if err := wstr(bw, c.Template.Agg); err != nil {
+		return err
+	}
+	if err := wuv(bw, uint64(len(c.Template.Dims))); err != nil {
+		return err
+	}
+	for _, d := range c.Template.Dims {
+		if err := wstr(bw, d); err != nil {
+			return err
+		}
+	}
+	if err := wuv(bw, uint64(c.SourceRows)); err != nil {
+		return err
+	}
+	for _, pts := range c.Points {
+		if err := wuv(bw, uint64(len(pts))); err != nil {
+			return err
+		}
+		for _, p := range pts {
+			if err := wf64(bw, p); err != nil {
+				return err
+			}
+		}
+	}
+	if err := wuv(bw, uint64(len(c.Cells))); err != nil {
+		return err
+	}
+	for _, v := range c.Cells {
+		if err := wf64(bw, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a cube written with WriteBinary.
+func ReadBinary(r io.Reader) (*BPCube, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != cubeMagic {
+		return nil, fmt.Errorf("cube: bad magic %q", m)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != cubeFormatVersion {
+		return nil, fmt.Errorf("cube: unsupported version %d", ver)
+	}
+	c := &BPCube{}
+	if c.Template.Agg, err = rstr(br); err != nil {
+		return nil, err
+	}
+	nd, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	c.Template.Dims = make([]string, nd)
+	for i := range c.Template.Dims {
+		if c.Template.Dims[i], err = rstr(br); err != nil {
+			return nil, err
+		}
+	}
+	sr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	c.SourceRows = int(sr)
+	c.Points = make([][]float64, nd)
+	expectCells := 1
+	for i := range c.Points {
+		np, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		c.Points[i] = make([]float64, np)
+		for j := range c.Points[i] {
+			if c.Points[i][j], err = rf64(br); err != nil {
+				return nil, err
+			}
+		}
+		expectCells *= int(np)
+	}
+	nc, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if int(nc) != expectCells {
+		return nil, fmt.Errorf("cube: %d cells but shape implies %d", nc, expectCells)
+	}
+	c.Cells = make([]float64, nc)
+	for i := range c.Cells {
+		if c.Cells[i], err = rf64(br); err != nil {
+			return nil, err
+		}
+	}
+	c.computeStrides()
+	return c, nil
+}
+
+func wuv(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func wstr(w *bufio.Writer, s string) error {
+	if err := wuv(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func wf64(w *bufio.Writer, f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func rstr(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("cube: string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func rf64(r *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

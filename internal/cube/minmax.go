@@ -1,0 +1,150 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"aqppp/internal/engine"
+)
+
+// MinMaxIndex answers exact MIN/MAX range queries over one condition
+// attribute. The paper's §8 notes that MIN and MAX are easy for AggPre
+// but impossible for sampling-based AQP; prefix cubes cannot serve them
+// either (extrema do not subtract), so this index uses the classic
+// sparse-table (doubling) structure over the rows sorted by the condition
+// ordinal: O(N log N) space, O(1) per query after two binary searches.
+type MinMaxIndex struct {
+	// Dim and Agg name the condition and aggregate columns.
+	Dim, Agg string
+	// ords holds the sorted condition ordinals; vals the corresponding
+	// aggregate values.
+	ords []float64
+	vals []float64
+	// mins[l][i] / maxs[l][i] summarize vals[i : i+2^l].
+	mins, maxs [][]float64
+}
+
+// BuildMinMax constructs the index for (aggCol, dimCol) over tbl.
+func BuildMinMax(tbl *engine.Table, aggCol, dimCol string) (*MinMaxIndex, error) {
+	acol, err := tbl.Column(aggCol)
+	if err != nil {
+		return nil, err
+	}
+	dcol, err := tbl.Column(dimCol)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := tbl.SortedIndexByOrdinal(dimCol)
+	if err != nil {
+		return nil, err
+	}
+	n := len(idx)
+	m := &MinMaxIndex{
+		Dim: dimCol, Agg: aggCol,
+		ords: make([]float64, n),
+		vals: make([]float64, n),
+	}
+	for i, row := range idx {
+		m.ords[i] = dcol.Ordinal(row)
+		m.vals[i] = acol.Float(row)
+	}
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n)) // floor(log2 n) + 1
+	}
+	m.mins = make([][]float64, levels)
+	m.maxs = make([][]float64, levels)
+	m.mins[0] = m.vals
+	m.maxs[0] = m.vals
+	for l := 1; l < levels; l++ {
+		span := 1 << uint(l)
+		cnt := n - span + 1
+		if cnt <= 0 {
+			m.mins = m.mins[:l]
+			m.maxs = m.maxs[:l]
+			break
+		}
+		m.mins[l] = make([]float64, cnt)
+		m.maxs[l] = make([]float64, cnt)
+		half := span / 2
+		for i := 0; i < cnt; i++ {
+			m.mins[l][i] = math.Min(m.mins[l-1][i], m.mins[l-1][i+half])
+			m.maxs[l][i] = math.Max(m.maxs[l-1][i], m.maxs[l-1][i+half])
+		}
+	}
+	return m, nil
+}
+
+// SizeBytes reports the index footprint.
+func (m *MinMaxIndex) SizeBytes() int64 {
+	total := int64(len(m.ords)+len(m.vals)) * 8
+	for l := 1; l < len(m.mins); l++ {
+		total += int64(len(m.mins[l])+len(m.maxs[l])) * 8
+	}
+	return total
+}
+
+// Min returns the exact minimum of the aggregate over rows with ordinal
+// in [lo, hi]; ok is false when the range holds no rows.
+func (m *MinMaxIndex) Min(lo, hi float64) (float64, bool) {
+	i, j := m.span(lo, hi)
+	if i >= j {
+		return 0, false
+	}
+	l := bits.Len(uint(j-i)) - 1
+	return math.Min(m.mins[l][i], m.mins[l][j-(1<<uint(l))]), true
+}
+
+// Max returns the exact maximum over [lo, hi]; ok is false for empty
+// ranges.
+func (m *MinMaxIndex) Max(lo, hi float64) (float64, bool) {
+	i, j := m.span(lo, hi)
+	if i >= j {
+		return 0, false
+	}
+	l := bits.Len(uint(j-i)) - 1
+	return math.Max(m.maxs[l][i], m.maxs[l][j-(1<<uint(l))]), true
+}
+
+// span converts an inclusive ordinal range into a half-open row span.
+func (m *MinMaxIndex) span(lo, hi float64) (int, int) {
+	i := sort.SearchFloat64s(m.ords, lo)
+	j := sort.Search(len(m.ords), func(k int) bool { return m.ords[k] > hi })
+	return i, j
+}
+
+// Answer answers MIN/MAX queries whose only restriction (if any) is a
+// range on this index's dimension.
+func (m *MinMaxIndex) Answer(q engine.Query) (float64, error) {
+	if q.Func != engine.Min && q.Func != engine.Max {
+		return 0, fmt.Errorf("cube: MinMaxIndex answers MIN/MAX, got %v", q.Func)
+	}
+	if q.Col != m.Agg {
+		return 0, fmt.Errorf("cube: index is over %q, query aggregates %q", m.Agg, q.Col)
+	}
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for _, r := range q.Ranges {
+		if r.Col != m.Dim {
+			return 0, fmt.Errorf("cube: index covers dimension %q, query restricts %q", m.Dim, r.Col)
+		}
+		if r.Lo > lo {
+			lo = r.Lo
+		}
+		if r.Hi < hi {
+			hi = r.Hi
+		}
+	}
+	var v float64
+	var ok bool
+	if q.Func == engine.Min {
+		v, ok = m.Min(lo, hi)
+	} else {
+		v, ok = m.Max(lo, hi)
+	}
+	if !ok {
+		return 0, fmt.Errorf("cube: empty range [%v, %v] on %q", lo, hi, m.Dim)
+	}
+	return v, nil
+}

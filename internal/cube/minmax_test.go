@@ -1,0 +1,142 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func TestMinMaxMatchesBruteForce(t *testing.T) {
+	r := stats.NewRNG(7)
+	tbl := randomTable(1, 2000, 200, 7)
+	idx, err := BuildMinMax(tbl, "a", dimName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acol := tbl.MustColumn("a")
+	dcol := tbl.MustColumn(dimName(0))
+	for trial := 0; trial < 100; trial++ {
+		lo := float64(r.Intn(200) + 1)
+		hi := lo + float64(r.Intn(60))
+		wantMin, wantMax := math.Inf(1), math.Inf(-1)
+		found := false
+		for row := 0; row < tbl.NumRows(); row++ {
+			v := dcol.Ordinal(row)
+			if v >= lo && v <= hi {
+				found = true
+				wantMin = math.Min(wantMin, acol.Float(row))
+				wantMax = math.Max(wantMax, acol.Float(row))
+			}
+		}
+		gotMin, okMin := idx.Min(lo, hi)
+		gotMax, okMax := idx.Max(lo, hi)
+		if okMin != found || okMax != found {
+			t.Fatalf("trial %d: ok=%v/%v, want %v", trial, okMin, okMax, found)
+		}
+		if found {
+			if gotMin != wantMin {
+				t.Fatalf("trial %d: Min(%v,%v) = %v, want %v", trial, lo, hi, gotMin, wantMin)
+			}
+			if gotMax != wantMax {
+				t.Fatalf("trial %d: Max(%v,%v) = %v, want %v", trial, lo, hi, gotMax, wantMax)
+			}
+		}
+	}
+}
+
+func TestMinMaxAnswerQuery(t *testing.T) {
+	tbl := randomTable(1, 500, 50, 8)
+	idx, err := BuildMinMax(tbl, "a", dimName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Func: engine.Min, Col: "a",
+		Ranges: []engine.Range{{Col: dimName(0), Lo: 10, Hi: 30}}}
+	truth, _ := tbl.Execute(q)
+	got, err := idx.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != truth.Value {
+		t.Errorf("MIN = %v, want %v", got, truth.Value)
+	}
+	q.Func = engine.Max
+	truth, _ = tbl.Execute(q)
+	got, err = idx.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != truth.Value {
+		t.Errorf("MAX = %v, want %v", got, truth.Value)
+	}
+	// Unrestricted query = global extrema.
+	full := engine.Query{Func: engine.Max, Col: "a"}
+	truth, _ = tbl.Execute(full)
+	got, err = idx.Answer(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != truth.Value {
+		t.Errorf("global MAX = %v, want %v", got, truth.Value)
+	}
+}
+
+func TestMinMaxAnswerErrors(t *testing.T) {
+	tbl := randomTable(2, 100, 20, 9)
+	idx, err := BuildMinMax(tbl, "a", dimName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Answer(engine.Query{Func: engine.Sum, Col: "a"}); err == nil {
+		t.Error("SUM accepted")
+	}
+	if _, err := idx.Answer(engine.Query{Func: engine.Min, Col: "other"}); err == nil {
+		t.Error("wrong aggregate column accepted")
+	}
+	q := engine.Query{Func: engine.Min, Col: "a",
+		Ranges: []engine.Range{{Col: dimName(1), Lo: 1, Hi: 5}}}
+	if _, err := idx.Answer(q); err == nil {
+		t.Error("foreign dimension accepted")
+	}
+	empty := engine.Query{Func: engine.Min, Col: "a",
+		Ranges: []engine.Range{{Col: dimName(0), Lo: 1000, Hi: 2000}}}
+	if _, err := idx.Answer(empty); err == nil {
+		t.Error("empty range produced a value")
+	}
+}
+
+func TestMinMaxValidation(t *testing.T) {
+	tbl := randomTable(1, 50, 10, 10)
+	if _, err := BuildMinMax(tbl, "nope", dimName(0)); err == nil {
+		t.Error("bad aggregate column accepted")
+	}
+	if _, err := BuildMinMax(tbl, "a", "nope"); err == nil {
+		t.Error("bad dimension column accepted")
+	}
+	idx, err := BuildMinMax(tbl, "a", dimName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes = 0")
+	}
+}
+
+func TestMinMaxSingleRow(t *testing.T) {
+	tbl := engine.MustNewTable("one",
+		engine.NewFloatColumn("a", []float64{42}),
+		engine.NewIntColumn("c", []int64{7}),
+	)
+	idx, err := BuildMinMax(tbl, "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := idx.Min(7, 7); !ok || v != 42 {
+		t.Errorf("Min = %v ok=%v", v, ok)
+	}
+	if _, ok := idx.Min(8, 9); ok {
+		t.Error("empty range reported a value")
+	}
+}

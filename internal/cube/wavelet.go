@@ -1,0 +1,284 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aqppp/internal/engine"
+)
+
+// WaveletCube is an approximate data cube compressed with an orthonormal
+// Haar wavelet synopsis — the cube-approximation line of work the paper
+// cites (Vitter & Wang [68]) and names in §8 as worth revisiting under
+// AQP++. The d-dimensional bucket array over the partition grid is
+// Haar-transformed along every axis; only the largest-magnitude
+// coefficients are kept. Range sums are answered from the retained
+// coefficients alone in O(kept · d): each coefficient's contribution to a
+// prefix sum is the product of per-axis prefix integrals of its basis
+// function, available in closed form.
+//
+// Unlike the BP-Cube this gives approximate answers with no probabilistic
+// error bound, which is exactly the weakness (§2: "not good at answering
+// ad-hoc queries ... deterministic guarantees") that motivates AQP++'s
+// hybrid; the wavelet study in internal/experiments quantifies it.
+type WaveletCube struct {
+	Template Template
+	// Points mirrors BPCube.Points (per-axis partition ordinals), padded
+	// conceptually to pow2 sizes for the transform.
+	Points [][]float64
+	// size[i] is the padded (power-of-two) length of axis i.
+	size []int
+	// coeffs holds the retained coefficients keyed by their flat padded
+	// index.
+	coeffs map[int]float64
+	// strides over the padded grid.
+	strides []int
+	// SourceRows is the row count the cube was built over.
+	SourceRows int
+}
+
+// BuildWavelet constructs a wavelet cube over the same grid a BP-Cube
+// would use, keeping at most keepCoeffs coefficients.
+func BuildWavelet(tbl *engine.Table, tmpl Template, points [][]float64, keepCoeffs int) (*WaveletCube, error) {
+	if keepCoeffs < 1 {
+		return nil, fmt.Errorf("cube: keepCoeffs = %d", keepCoeffs)
+	}
+	// Reuse the BP-Cube build for validation and bucketing, then undo the
+	// prefix pass to recover raw bucket sums.
+	bp, err := Build(tbl, tmpl, points)
+	if err != nil {
+		return nil, err
+	}
+	w := &WaveletCube{
+		Template:   tmpl,
+		Points:     bp.Points,
+		SourceRows: bp.SourceRows,
+	}
+	d := len(bp.Points)
+	w.size = make([]int, d)
+	for i, p := range bp.Points {
+		w.size[i] = nextPow2(len(p))
+	}
+	w.strides = make([]int, d)
+	stride := 1
+	for i := d - 1; i >= 0; i-- {
+		w.strides[i] = stride
+		stride *= w.size[i]
+	}
+	// Copy bucket sums (differenced prefix values) into the padded array.
+	buckets := make([]float64, stride)
+	idx := make([]int, d)
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == d {
+			off := 0
+			for i, j := range idx {
+				off += j * w.strides[i]
+			}
+			buckets[off] = bucketValue(bp, idx)
+			return
+		}
+		for j := 0; j < len(bp.Points[axis]); j++ {
+			idx[axis] = j
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+
+	// Full orthonormal Haar transform along each axis.
+	for axis := 0; axis < d; axis++ {
+		w.transformAxis(buckets, axis)
+	}
+	// Threshold: keep the top coefficients by magnitude.
+	type kv struct {
+		pos int
+		abs float64
+	}
+	all := make([]kv, 0, len(buckets))
+	for pos, c := range buckets {
+		if c != 0 {
+			all = append(all, kv{pos, math.Abs(c)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].abs > all[j].abs })
+	if keepCoeffs > len(all) {
+		keepCoeffs = len(all)
+	}
+	w.coeffs = make(map[int]float64, keepCoeffs)
+	for _, e := range all[:keepCoeffs] {
+		w.coeffs[e.pos] = buckets[e.pos]
+	}
+	return w, nil
+}
+
+// bucketValue recovers the raw bucket sum at grid cell idx from the
+// prefix cube by local inclusion-exclusion.
+func bucketValue(bp *BPCube, idx []int) float64 {
+	d := len(idx)
+	total := 0.0
+	corner := make([]int, d)
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		sign := 1.0
+		for i := 0; i < d; i++ {
+			corner[i] = idx[i]
+			if mask&(1<<uint(i)) != 0 {
+				corner[i]--
+				sign = -sign
+			}
+		}
+		valid := true
+		for i := 0; i < d; i++ {
+			if corner[i] < -1 {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		total += sign * bp.PrefixSum(corner)
+	}
+	return total
+}
+
+// transformAxis applies the full orthonormal Haar transform along one
+// axis of the padded array (averages land in the front half at each
+// level).
+func (w *WaveletCube) transformAxis(data []float64, axis int) {
+	n := w.size[axis]
+	stride := w.strides[axis]
+	outer := len(data) / (n * stride)
+	buf := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for o := 0; o < outer; o++ {
+		base := o * n * stride
+		for inner := 0; inner < stride; inner++ {
+			off := base + inner
+			// Gather the line.
+			for j := 0; j < n; j++ {
+				buf[j] = data[off+j*stride]
+			}
+			for length := n; length > 1; length /= 2 {
+				half := length / 2
+				tmp := make([]float64, length)
+				for j := 0; j < half; j++ {
+					a, b := buf[2*j], buf[2*j+1]
+					tmp[j] = (a + b) * inv
+					tmp[half+j] = (a - b) * inv
+				}
+				copy(buf[:length], tmp)
+			}
+			for j := 0; j < n; j++ {
+				data[off+j*stride] = buf[j]
+			}
+		}
+	}
+}
+
+// KeptCoeffs returns the number of retained coefficients.
+func (w *WaveletCube) KeptCoeffs() int { return len(w.coeffs) }
+
+// SizeBytes reports the synopsis footprint: one (index, value) pair per
+// kept coefficient plus the partition points.
+func (w *WaveletCube) SizeBytes() int64 {
+	total := int64(len(w.coeffs)) * 16
+	for _, p := range w.Points {
+		total += int64(len(p)) * 8
+	}
+	return total
+}
+
+// PrefixSum approximates the prefix aggregate at per-axis point indices
+// idx (same semantics as BPCube.PrefixSum; -1 yields 0).
+func (w *WaveletCube) PrefixSum(idx []int) float64 {
+	for _, j := range idx {
+		if j < 0 {
+			return 0
+		}
+	}
+	total := 0.0
+	for pos, c := range w.coeffs {
+		contrib := c
+		rem := pos
+		for axis := 0; axis < len(w.size); axis++ {
+			p := rem / w.strides[axis]
+			rem %= w.strides[axis]
+			contrib *= haarPrefixIntegral(w.size[axis], p, idx[axis])
+			if contrib == 0 {
+				break
+			}
+		}
+		total += contrib
+	}
+	return total
+}
+
+// RangeSum approximates the aggregate over ∏(Points[lo], Points[hi]] by
+// inclusion-exclusion, mirroring BPCube.RangeSum.
+func (w *WaveletCube) RangeSum(lo, hi []int) float64 {
+	d := len(w.size)
+	corner := make([]int, d)
+	total := 0.0
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		sign := 1.0
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				corner[i] = lo[i]
+				sign = -sign
+			} else {
+				corner[i] = hi[i]
+			}
+		}
+		total += sign * w.PrefixSum(corner)
+	}
+	return total
+}
+
+// haarPrefixIntegral returns Σ_{t=0..i} B_p(t) for the orthonormal Haar
+// basis function at transform position p over a length-n axis.
+//
+// Position 0 is the scaling function φ ≡ 1/√n. Positions [2^j, 2^{j+1})
+// for j = 0..log2(n)−1 hold the level-j wavelets: position 2^j + k has
+// support s = n/2^j starting at k·s, value +1/√s on the first half and
+// −1/√s on the second.
+func haarPrefixIntegral(n, p, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	if p == 0 {
+		return float64(i+1) / math.Sqrt(float64(n))
+	}
+	// Decompose p into level and shift.
+	j := 0
+	for (1 << uint(j+1)) <= p {
+		j++
+	}
+	k := p - (1 << uint(j))
+	s := n >> uint(j)
+	start := k * s
+	if i < start {
+		return 0
+	}
+	if i >= start+s {
+		return 0 // the two halves cancel exactly
+	}
+	h := 1 / math.Sqrt(float64(s))
+	within := i - start + 1 // covered positions within the support
+	half := s / 2
+	if within <= half {
+		return float64(within) * h
+	}
+	return float64(s-within) * h
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

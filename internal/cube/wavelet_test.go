@@ -1,0 +1,141 @@
+package cube
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func TestWaveletExactWhenAllCoefficientsKept(t *testing.T) {
+	// With every coefficient retained, the synopsis is a lossless
+	// orthonormal transform: prefix sums must match the BP-Cube exactly.
+	for _, d := range []int{1, 2, 3} {
+		tbl := randomTable(d, 500, 16, uint64(60+d))
+		points := make([][]float64, d)
+		for i := range points {
+			points[i] = []float64{4, 8, 12, 16}
+		}
+		tmpl := Template{Agg: "a", Dims: dims(d)}
+		bp, err := Build(tbl, tmpl, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := BuildWavelet(tbl, tmpl, points, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := make([]int, d)
+		var walk func(axis int)
+		var fail bool
+		walk = func(axis int) {
+			if fail {
+				return
+			}
+			if axis == d {
+				want := bp.PrefixSum(idx)
+				got := w.PrefixSum(idx)
+				if math.Abs(got-want) > 1e-6*math.Max(math.Abs(want), 1) {
+					t.Errorf("d=%d prefix %v: wavelet %v != exact %v", d, idx, got, want)
+					fail = true
+				}
+				return
+			}
+			for j := 0; j < len(bp.Points[axis]); j++ {
+				idx[axis] = j
+				walk(axis + 1)
+			}
+		}
+		walk(0)
+	}
+}
+
+func TestWaveletRangeSumLossless(t *testing.T) {
+	tbl := randomTable(2, 800, 20, 64)
+	points := [][]float64{{5, 10, 15, 20}, {4, 8, 12, 16, 20}}
+	tmpl := Template{Agg: "a", Dims: dims(2)}
+	bp, err := Build(tbl, tmpl, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildWavelet(tbl, tmpl, points, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(65)
+	for trial := 0; trial < 40; trial++ {
+		lo := make([]int, 2)
+		hi := make([]int, 2)
+		for i := 0; i < 2; i++ {
+			k := len(bp.Points[i])
+			lo[i] = r.Intn(k) - 1
+			hi[i] = lo[i] + 1 + r.Intn(k-lo[i]-1)
+		}
+		want := bp.RangeSum(lo, hi)
+		got := w.RangeSum(lo, hi)
+		if math.Abs(got-want) > 1e-6*math.Max(math.Abs(want), 1) {
+			t.Fatalf("range %v-%v: wavelet %v != exact %v", lo, hi, got, want)
+		}
+	}
+}
+
+func TestWaveletCompressionDegradesGracefully(t *testing.T) {
+	// Smooth data compresses well: a heavily truncated synopsis should
+	// still answer wide ranges with modest relative error, and error
+	// should shrink as more coefficients are kept.
+	n := 20000
+	r := stats.NewRNG(66)
+	c := make([]int64, n)
+	a := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = int64(r.Intn(256) + 1)
+		a[i] = 100 + 0.2*float64(c[i]) + r.NormFloat64()
+	}
+	tbl := engine.MustNewTable("t",
+		engine.NewFloatColumn("a", a),
+		engine.NewIntColumn("c", c),
+	)
+	pts := make([]float64, 64)
+	for i := range pts {
+		pts[i] = float64((i + 1) * 4)
+	}
+	tmpl := Template{Agg: "a", Dims: []string{"c"}}
+	bp, err := Build(tbl, tmpl, [][]float64{pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr float64
+	for ki, keep := range []int{8, 16, 32, 64} {
+		w, err := BuildWavelet(tbl, tmpl, [][]float64{pts}, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.KeptCoeffs() > keep {
+			t.Fatalf("kept %d > budget %d", w.KeptCoeffs(), keep)
+		}
+		// Average relative error over wide ranges.
+		var relSum float64
+		trials := 0
+		for lo := -1; lo < 40; lo += 8 {
+			hi := lo + 16
+			want := bp.RangeSum([]int{lo}, []int{hi})
+			got := w.RangeSum([]int{lo}, []int{hi})
+			if want != 0 {
+				relSum += math.Abs(got-want) / math.Abs(want)
+				trials++
+			}
+		}
+		rel := relSum / float64(trials)
+		if ki == 0 && rel > 0.5 {
+			t.Errorf("keep=%d: error %v too large even for the smallest synopsis", keep, rel)
+		}
+		if ki > 0 && rel > prevErr*1.25+1e-12 {
+			t.Errorf("keep=%d: error %v grew from %v", keep, rel, prevErr)
+		}
+		prevErr = rel
+	}
+	if prevErr > 1e-6 {
+		t.Errorf("full-coefficient synopsis still lossy: %v", prevErr)
+	}
+}

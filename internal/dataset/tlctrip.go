@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"math"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+// TLCTripConfig configures the synthetic NYC yellow-taxi generator.
+type TLCTripConfig struct {
+	// Rows is the number of trips.
+	Rows int
+	// Seed makes generation deterministic.
+	Seed uint64
+	// Days is the span of pickup dates (paper: 2009-2016 ≈ 2900 days).
+	// Defaults to 2900.
+	Days int
+}
+
+// TLCTrip generates a trip table with the columns the paper's ten TLCTrip
+// templates use: Pickup_Date, Pickup_Time, vendor_name, Fare_Amt,
+// Rate_Code, Passenger_Count, Dropoff_Date, Dropoff_Time, surcharge,
+// Tip_Amt, and the measure Distance. Correlations mirror the real data:
+// fares and tips scale with distance, dropoff time trails pickup time by
+// the trip duration, night pickups carry a surcharge, and distances are
+// heavy-tailed (many short Manhattan hops, occasional airport runs).
+func TLCTrip(cfg TLCTripConfig) *engine.Table {
+	n := cfg.Rows
+	if cfg.Days == 0 {
+		cfg.Days = 2900
+	}
+	r := stats.NewRNG(cfg.Seed)
+
+	pickupDate := make([]int64, n)
+	pickupTime := make([]int64, n) // minutes since midnight
+	vendor := make([]string, n)
+	fare := make([]float64, n)
+	rateCode := make([]int64, n)
+	passengers := make([]int64, n)
+	dropoffDate := make([]int64, n)
+	dropoffTime := make([]int64, n)
+	surcharge := make([]float64, n)
+	tip := make([]float64, n)
+	distance := make([]float64, n)
+
+	vendors := []string{"CMT", "VTS", "DDS"}
+	for i := 0; i < n; i++ {
+		pickupDate[i] = int64(r.Intn(cfg.Days)) + 1
+		// Bimodal pickup times: morning and evening rush hours.
+		var minute float64
+		if r.Float64() < 0.5 {
+			minute = 8.5*60 + 90*r.NormFloat64()
+		} else {
+			minute = 18*60 + 150*r.NormFloat64()
+		}
+		if minute < 0 {
+			minute += 24 * 60
+		}
+		pickupTime[i] = int64(math.Mod(minute, 24*60))
+
+		// Distance: lognormal with an airport-run tail.
+		d := math.Exp(0.8*r.NormFloat64() + 0.5)
+		if r.Float64() < 0.02 {
+			d += 12 + 5*r.Float64() // JFK/LGA runs
+		}
+		distance[i] = d
+
+		// Fare: metered base + per-mile, with noise; later years cost
+		// more (fare hikes), correlating Fare_Amt with Pickup_Date.
+		yearFactor := 1 + 0.3*float64(pickupDate[i])/float64(cfg.Days)
+		fare[i] = (2.5 + 2.5*d + 0.5*r.NormFloat64()) * yearFactor
+		if fare[i] < 2.5 {
+			fare[i] = 2.5
+		}
+
+		// Trips average ~12 mph in traffic.
+		durMin := int64(d*5 + 3 + 4*r.Float64())
+		dropT := pickupTime[i] + durMin
+		dropoffDate[i] = pickupDate[i] + dropT/(24*60)
+		dropoffTime[i] = dropT % (24 * 60)
+
+		rateCode[i] = 1
+		if distance[i] > 12 {
+			rateCode[i] = 2 // JFK flat rate
+		} else if r.Float64() < 0.01 {
+			rateCode[i] = int64(r.Intn(4)) + 3
+		}
+		passengers[i] = int64(r.Intn(4)) + 1
+		if r.Float64() < 0.1 {
+			passengers[i] += int64(r.Intn(3))
+		}
+
+		// Night surcharge 20:00-06:00.
+		if pickupTime[i] >= 20*60 || pickupTime[i] < 6*60 {
+			surcharge[i] = 0.5
+		}
+
+		// Tips: ~60% of riders tip, mostly 15-25% of fare.
+		if r.Float64() < 0.6 {
+			tip[i] = fare[i] * (0.15 + 0.1*r.Float64())
+		}
+		vendor[i] = vendors[r.Intn(len(vendors))]
+	}
+
+	return engine.MustNewTable("tlctrip",
+		engine.NewIntColumn("Pickup_Date", pickupDate),
+		engine.NewIntColumn("Pickup_Time", pickupTime),
+		engine.NewStringColumn("vendor_name", vendor),
+		engine.NewFloatColumn("Fare_Amt", fare),
+		engine.NewIntColumn("Rate_Code", rateCode),
+		engine.NewIntColumn("Passenger_Count", passengers),
+		engine.NewIntColumn("Dropoff_Date", dropoffDate),
+		engine.NewIntColumn("Dropoff_Time", dropoffTime),
+		engine.NewFloatColumn("surcharge", surcharge),
+		engine.NewFloatColumn("Tip_Amt", tip),
+		engine.NewFloatColumn("Distance", distance),
+	)
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "fmt"
+
+// AppendRow appends one row to the table. vals must have one entry per
+// column, in schema order, with types matching the columns: int64 (or
+// int) for Int64 columns, float64 for Float64 columns, string for String
+// columns. It is the ingestion path for the data-update extension
+// (Appendix C): AQP++ maintains its sample and BP-Cube incrementally as
+// rows arrive.
+func (t *Table) AppendRow(vals ...interface{}) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("engine: AppendRow got %d values for %d columns", len(vals), len(t.Columns))
+	}
+	// Validate all values before mutating anything so a failed append
+	// leaves the table consistent.
+	for i, c := range t.Columns {
+		switch c.Type {
+		case Int64:
+			switch vals[i].(type) {
+			case int64, int:
+			default:
+				return fmt.Errorf("engine: column %q wants int64, got %T", c.Name, vals[i])
+			}
+		case Float64:
+			if _, ok := vals[i].(float64); !ok {
+				return fmt.Errorf("engine: column %q wants float64, got %T", c.Name, vals[i])
+			}
+		case String:
+			if _, ok := vals[i].(string); !ok {
+				return fmt.Errorf("engine: column %q wants string, got %T", c.Name, vals[i])
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		switch c.Type {
+		case Int64:
+			switch v := vals[i].(type) {
+			case int64:
+				c.Ints = append(c.Ints, v)
+			case int:
+				c.Ints = append(c.Ints, int64(v))
+			}
+		case Float64:
+			c.Floats = append(c.Floats, vals[i].(float64))
+		case String:
+			c.appendString(vals[i].(string))
+		}
+		c.invalidateZoneMap()
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package engine
+
+import "math/bits"
+
+// Bitset is a fixed-size dense bitmap used as the selection vector for
+// predicate evaluation. Vectorized filters produce a Bitset; aggregation
+// consumes it.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an all-zero bitset over n rows.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of rows the bitset covers.
+func (b *Bitset) Len() int { return b.n }
+
+// Set marks row i as selected.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear unmarks row i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether row i is selected.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetAll selects every row.
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// trim zeroes the tail bits beyond n in the last word.
+func (b *Bitset) trim() {
+	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// And intersects o into b in place. The two bitsets must have equal length.
+func (b *Bitset) And(o *Bitset) {
+	if b.n != o.n {
+		panic("engine: Bitset length mismatch in And")
+	}
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into b in place. The two bitsets must have equal length.
+func (b *Bitset) Or(o *Bitset) {
+	if b.n != o.n {
+		panic("engine: Bitset length mismatch in Or")
+	}
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Count returns the number of selected rows.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f with each selected row index in ascending order.
+func (b *Bitset) ForEach(f func(i int)) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}

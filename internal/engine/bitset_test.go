@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetSetGetClear(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestBitsetSetAllCount(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		b := NewBitset(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestBitsetAndOr(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	and := a.Clone()
+	and.And(b)
+	or := a.Clone()
+	or.Or(b)
+	for i := 0; i < 100; i++ {
+		wantAnd := i%2 == 0 && i%3 == 0
+		wantOr := i%2 == 0 || i%3 == 0
+		if and.Get(i) != wantAnd {
+			t.Errorf("And bit %d = %v", i, and.Get(i))
+		}
+		if or.Get(i) != wantOr {
+			t.Errorf("Or bit %d = %v", i, or.Get(i))
+		}
+	}
+}
+
+func TestBitsetForEachOrdered(t *testing.T) {
+	b := NewBitset(200)
+	want := []int{3, 64, 65, 120, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("visit %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsetLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	NewBitset(10).And(NewBitset(20))
+}
+
+func TestBitsetCountMatchesForEach(t *testing.T) {
+	f := func(seed uint16, n16 uint16) bool {
+		n := int(n16)%300 + 1
+		b := NewBitset(n)
+		s := uint32(seed)
+		for i := 0; i < n; i++ {
+			s = s*1664525 + 1013904223
+			if s&1 == 1 {
+				b.Set(i)
+			}
+		}
+		visits := 0
+		b.ForEach(func(int) { visits++ })
+		return visits == b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package engine is an in-memory columnar OLAP engine: typed columns,
+// tables, vectorized range predicates, exact aggregation (with group-by),
+// and binary/CSV persistence.
+//
+// It plays the role of the commercial column-store ("DBX") that the AQP++
+// paper runs on: the AQP++ layers above only need filtered scans, exact
+// aggregates for cube construction and ground truth, and a place to store
+// samples as tables.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColType enumerates the supported column types.
+type ColType uint8
+
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 ColType = iota
+	// Float64 is a 64-bit float column.
+	Float64
+	// String is a dictionary-encoded string column. Its ordinal order is
+	// lexicographic, matching the paper's footnote 3 ("if C does not have
+	// a natural ordering, we use an alphabetical ordering").
+	String
+)
+
+// String implements fmt.Stringer.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(t))
+	}
+}
+
+// Column is a single typed column. Exactly one of the data slices is
+// populated, according to Type. Strings are dictionary-encoded: Codes
+// holds per-row dictionary indices into Dict.
+type Column struct {
+	Name string
+	Type ColType
+
+	Ints   []int64
+	Floats []float64
+	Codes  []int32
+	Dict   []string
+
+	// rankOf maps a dictionary code to its lexicographic rank; rebuilt
+	// lazily when the dictionary grows.
+	rankOf    []int32
+	dictIndex map[string]int32
+	// zones caches the per-block min/max summary used for data skipping;
+	// rebuilt lazily after appends.
+	zones *zoneMap
+}
+
+// NewIntColumn creates an Int64 column with the given values.
+func NewIntColumn(name string, vals []int64) *Column {
+	return &Column{Name: name, Type: Int64, Ints: vals}
+}
+
+// NewFloatColumn creates a Float64 column with the given values.
+func NewFloatColumn(name string, vals []float64) *Column {
+	return &Column{Name: name, Type: Float64, Floats: vals}
+}
+
+// NewStringColumn creates a dictionary-encoded String column from raw
+// values.
+func NewStringColumn(name string, vals []string) *Column {
+	c := &Column{Name: name, Type: String, dictIndex: make(map[string]int32)}
+	for _, v := range vals {
+		c.appendString(v)
+	}
+	return c
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int64:
+		return len(c.Ints)
+	case Float64:
+		return len(c.Floats)
+	default:
+		return len(c.Codes)
+	}
+}
+
+func (c *Column) appendString(v string) {
+	if c.dictIndex == nil {
+		c.dictIndex = make(map[string]int32, len(c.Dict))
+		for i, s := range c.Dict {
+			c.dictIndex[s] = int32(i)
+		}
+	}
+	code, ok := c.dictIndex[v]
+	if !ok {
+		code = int32(len(c.Dict))
+		c.Dict = append(c.Dict, v)
+		c.dictIndex[v] = code
+		c.rankOf = nil // invalidate rank cache
+	}
+	c.Codes = append(c.Codes, code)
+}
+
+// ranks returns the code→lexicographic-rank table, rebuilding it if the
+// dictionary changed since the last call.
+func (c *Column) ranks() []int32 {
+	if c.rankOf != nil && len(c.rankOf) == len(c.Dict) {
+		return c.rankOf
+	}
+	order := make([]int32, len(c.Dict))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return c.Dict[order[i]] < c.Dict[order[j]] })
+	c.rankOf = make([]int32, len(c.Dict))
+	for rank, code := range order {
+		c.rankOf[code] = int32(rank)
+	}
+	return c.rankOf
+}
+
+// Ordinal returns the row's value mapped onto a totally ordered numeric
+// axis: the value itself for numeric columns, and the lexicographic rank
+// (0-based) for string columns. Every condition attribute in the AQP++
+// layers is addressed through this ordinal view.
+func (c *Column) Ordinal(row int) float64 {
+	switch c.Type {
+	case Int64:
+		return float64(c.Ints[row])
+	case Float64:
+		return c.Floats[row]
+	default:
+		return float64(c.ranks()[c.Codes[row]])
+	}
+}
+
+// Float returns the row's numeric value; for string columns it is the
+// ordinal. Aggregation attributes use this accessor.
+func (c *Column) Float(row int) float64 { return c.Ordinal(row) }
+
+// StringAt returns the row's string value; for numeric columns it formats
+// the number.
+func (c *Column) StringAt(row int) string {
+	switch c.Type {
+	case Int64:
+		return fmt.Sprintf("%d", c.Ints[row])
+	case Float64:
+		return fmt.Sprintf("%g", c.Floats[row])
+	default:
+		return c.Dict[c.Codes[row]]
+	}
+}
+
+// OrdinalDomain returns the inclusive [min, max] ordinal range present in
+// the column, or (0, -1) for an empty column.
+func (c *Column) OrdinalDomain() (float64, float64) {
+	n := c.Len()
+	if n == 0 {
+		return 0, -1
+	}
+	if c.Type == String {
+		return 0, float64(len(c.Dict) - 1)
+	}
+	lo, hi := c.Ordinal(0), c.Ordinal(0)
+	for i := 1; i < n; i++ {
+		v := c.Ordinal(i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Gather returns a new column containing the rows of c at the given
+// indices, in order. Dictionary columns share the dictionary.
+func (c *Column) Gather(idx []int) *Column {
+	out := &Column{Name: c.Name, Type: c.Type}
+	switch c.Type {
+	case Int64:
+		out.Ints = make([]int64, len(idx))
+		for i, r := range idx {
+			out.Ints[i] = c.Ints[r]
+		}
+	case Float64:
+		out.Floats = make([]float64, len(idx))
+		for i, r := range idx {
+			out.Floats[i] = c.Floats[r]
+		}
+	default:
+		out.Dict = c.Dict
+		out.Codes = make([]int32, len(idx))
+		for i, r := range idx {
+			out.Codes[i] = c.Codes[r]
+		}
+	}
+	return out
+}
+
+// AppendFrom appends row r of src (a column of the same type) to c.
+func (c *Column) AppendFrom(src *Column, r int) {
+	if c.Type != src.Type {
+		panic("engine: AppendFrom type mismatch")
+	}
+	switch c.Type {
+	case Int64:
+		c.Ints = append(c.Ints, src.Ints[r])
+	case Float64:
+		c.Floats = append(c.Floats, src.Floats[r])
+	default:
+		c.appendString(src.Dict[src.Codes[r]])
+	}
+}

@@ -1,0 +1,10 @@
+package engine
+
+import "math"
+
+// Thin wrappers keep the io hot loops free of package-qualified calls that
+// the inliner occasionally refuses; they also document that bit-exact
+// round-tripping of floats (including NaN payloads) is intentional.
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, tbl, got)
+}
+
+func TestBinaryRoundTripSpecialFloats(t *testing.T) {
+	tbl := MustNewTable("f", NewFloatColumn("v",
+		[]float64{0, -0, math.Inf(1), math.Inf(-1), math.NaN(), 1e-300, -1e300}))
+	var buf bytes.Buffer
+	if err := tbl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.MustColumn("v").Floats
+	have := got.MustColumn("v").Floats
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(have[i]) {
+			t.Errorf("row %d: %v != %v", i, want[i], have[i])
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXXjunk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	// Fractional floats so type inference recovers Float64 (integral floats
+	// legitimately round-trip as Int64).
+	tbl := MustNewTable("sales",
+		NewIntColumn("id", []int64{1, 2, 3}),
+		NewFloatColumn("amount", []float64{10.5, 20.25, 30.125}),
+		NewStringColumn("region", []string{"west", "east", "west"}),
+	)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("sales", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, tbl, got)
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	in := "i,f,s\n1,1.5,hello\n2,2.5,world\n"
+	tbl, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Schema()
+	if s.Types[0] != Int64 || s.Types[1] != Float64 || s.Types[2] != String {
+		t.Errorf("inferred types = %v", s.Types)
+	}
+}
+
+func TestCSVEmptyFails(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	tbl, err := ReadCSV("t", strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 0 || tbl.NumCols() != 2 {
+		t.Errorf("shape = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+func assertTablesEqual(t *testing.T, want, got *Table) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("name %q != %q", got.Name, want.Name)
+	}
+	if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+		t.Fatalf("shape %dx%d != %dx%d", got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for j, wc := range want.Columns {
+		gc := got.Columns[j]
+		if gc.Name != wc.Name || gc.Type != wc.Type {
+			t.Fatalf("column %d schema mismatch", j)
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			if gc.StringAt(i) != wc.StringAt(i) {
+				t.Errorf("col %q row %d: %q != %q", wc.Name, i, gc.StringAt(i), wc.StringAt(i))
+			}
+		}
+	}
+}

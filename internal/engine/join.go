@@ -1,0 +1,81 @@
+package engine
+
+import "fmt"
+
+// HashJoinFK performs a foreign-key equi-join: every fact row is extended
+// with the dimension table's attributes via a hash lookup on
+// fact.fkCol = dim.keyCol. The key must be unique in the dimension table
+// and every fact key must resolve (a true FK), so the join is 1:1 per
+// fact row and the result has exactly the fact table's row count.
+//
+// This is the footnote-2 extension of the paper: AQP++ handles foreign-key
+// joins the way BlinkDB [6] does, because FK joins commute with uniform
+// fact-table sampling — joining a sample of the fact table equals sampling
+// the joined table (asserted by the engine's property tests). Denormalize
+// with this helper either before building (ground truth + cube) or after
+// sampling (cheap per-sample join); the estimators are identical.
+//
+// Dimension columns are added with the dimension table's name as a
+// prefix ("dim.col") to avoid collisions; the key column is not
+// duplicated.
+func HashJoinFK(fact *Table, fkCol string, dim *Table, keyCol string) (*Table, error) {
+	fk, err := fact.Column(fkCol)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := dim.Column(keyCol)
+	if err != nil {
+		return nil, err
+	}
+	if fk.Type == String || pk.Type == String {
+		return nil, fmt.Errorf("engine: string join keys are not supported (use integer surrogate keys)")
+	}
+	// Build the hash index over the dimension keys.
+	index := make(map[int64]int, dim.NumRows())
+	for i := 0; i < dim.NumRows(); i++ {
+		k := keyAsInt(pk, i)
+		if _, dup := index[k]; dup {
+			return nil, fmt.Errorf("engine: duplicate key %d in dimension %q (not a primary key)", k, dim.Name)
+		}
+		index[k] = i
+	}
+	// Resolve every fact row.
+	n := fact.NumRows()
+	mapping := make([]int, n)
+	for i := 0; i < n; i++ {
+		k := keyAsInt(fk, i)
+		j, ok := index[k]
+		if !ok {
+			return nil, fmt.Errorf("engine: fact row %d has dangling foreign key %d", i, k)
+		}
+		mapping[i] = j
+	}
+	// Assemble: all fact columns, then the dimension's non-key columns
+	// gathered through the mapping.
+	out := &Table{Name: fact.Name + "_" + dim.Name, byName: make(map[string]int)}
+	for _, c := range fact.Columns {
+		if err := out.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range dim.Columns {
+		if c.Name == keyCol {
+			continue
+		}
+		joined := c.Gather(mapping)
+		joined.Name = dim.Name + "." + c.Name
+		if err := out.AddColumn(joined); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// keyAsInt reads a numeric join key as int64 (floats must be integral;
+// enforced by truncation — FK columns are surrogate keys in practice).
+func keyAsInt(c *Column, row int) int64 {
+	if c.Type == Int64 {
+		return c.Ints[row]
+	}
+	return int64(c.Floats[row])
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ExecuteParallel runs a scalar (non-group-by) query with the given
+// worker count (<= 0 selects GOMAXPROCS), splitting the table into row
+// chunks that are filtered and aggregated independently and merged with
+// the parallel Welford-style combination. Results are bit-identical to
+// Execute for SUM/COUNT/MIN/MAX and agree to floating-point
+// reassociation for AVG/VAR.
+func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
+	if len(q.GroupBy) > 0 {
+		return t.Execute(q) // group-by stays on the serial path
+	}
+	n := t.NumRows()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4096 {
+		return t.Execute(q)
+	}
+	var col *Column
+	if q.Func != Count {
+		var err error
+		col, err = t.Column(q.Col)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	rangeCols := make([]*Column, len(q.Ranges))
+	for i, r := range q.Ranges {
+		c, err := t.Column(r.Col)
+		if err != nil {
+			return Result{}, err
+		}
+		rangeCols[i] = c
+	}
+	states := make([]aggState, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := &states[w]
+			for row := lo; row < hi; row++ {
+				in := true
+				for i, r := range q.Ranges {
+					v := rangeCols[i].Ordinal(row)
+					if v < r.Lo || v > r.Hi {
+						in = false
+						break
+					}
+				}
+				if !in {
+					continue
+				}
+				if col != nil {
+					st.add(col.Float(row))
+				} else {
+					st.add(0)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total aggState
+	for w := range states {
+		total.merge(&states[w])
+	}
+	v, err := total.finish(q.Func)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: v}, nil
+}
+
+// merge combines another accumulator into a.
+func (a *aggState) merge(o *aggState) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	a.n += o.n
+	a.sum += o.sum
+	a.sum2 += o.sum2
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+}

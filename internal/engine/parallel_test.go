@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/stats"
+)
+
+func parallelFixture(n int) *Table {
+	r := stats.NewRNG(31)
+	k := make([]int64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = int64(r.Intn(1000) + 1)
+		v[i] = r.NormFloat64() * 100
+	}
+	return MustNewTable("p",
+		NewIntColumn("k", k),
+		NewFloatColumn("v", v),
+	)
+}
+
+func TestExecuteParallelMatchesSerial(t *testing.T) {
+	tbl := parallelFixture(50000)
+	queries := []Query{
+		{Func: Sum, Col: "v"},
+		{Func: Count},
+		{Func: Avg, Col: "v"},
+		{Func: Var, Col: "v"},
+		{Func: Min, Col: "v"},
+		{Func: Max, Col: "v"},
+		{Func: Sum, Col: "v", Ranges: []Range{{Col: "k", Lo: 100, Hi: 700}}},
+		{Func: Count, Ranges: []Range{{Col: "k", Lo: 5000, Hi: 6000}}}, // empty
+	}
+	for _, q := range queries {
+		serial, err := tbl.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 7} {
+			par, err := tbl.ExecuteParallel(q, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", q, workers, err)
+			}
+			tol := 1e-9 * math.Max(math.Abs(serial.Value), 1)
+			if math.Abs(par.Value-serial.Value) > tol {
+				t.Errorf("%v workers=%d: parallel %v != serial %v", q, workers, par.Value, serial.Value)
+			}
+		}
+	}
+}
+
+func TestExecuteParallelGroupByFallsBack(t *testing.T) {
+	tbl := MustNewTable("g",
+		NewStringColumn("s", []string{"a", "b", "a"}),
+		NewFloatColumn("v", []float64{1, 2, 3}),
+	)
+	res, err := tbl.ExecuteParallel(Query{Func: Sum, Col: "v", GroupBy: []string{"s"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Errorf("groups = %+v", res.Groups)
+	}
+}
+
+func TestExecuteParallelErrors(t *testing.T) {
+	tbl := parallelFixture(10000)
+	if _, err := tbl.ExecuteParallel(Query{Func: Sum, Col: "nope"}, 4); err == nil {
+		t.Error("bad column accepted")
+	}
+	if _, err := tbl.ExecuteParallel(Query{Func: Sum, Col: "v", Ranges: []Range{{Col: "nope"}}}, 4); err == nil {
+		t.Error("bad range column accepted")
+	}
+}
+
+func BenchmarkExecuteSerial(b *testing.B) {
+	tbl := parallelFixture(500000)
+	q := Query{Func: Sum, Col: "v", Ranges: []Range{{Col: "k", Lo: 100, Hi: 900}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteParallel(b *testing.B) {
+	tbl := parallelFixture(500000)
+	q := Query{Func: Sum, Col: "v", Ranges: []Range{{Col: "k", Lo: 100, Hi: 900}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.ExecuteParallel(q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

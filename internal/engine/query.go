@@ -1,0 +1,290 @@
+package engine
+
+import "fmt"
+
+// AggFunc enumerates supported aggregation functions. MIN and MAX are
+// exact-only (the paper notes AQP cannot estimate them; AggPre can).
+type AggFunc uint8
+
+const (
+	// Sum aggregates SUM(col).
+	Sum AggFunc = iota
+	// Count aggregates COUNT(*) (the column is ignored).
+	Count
+	// Avg aggregates AVG(col).
+	Avg
+	// Var aggregates the population variance VAR(col).
+	Var
+	// Min aggregates MIN(col).
+	Min
+	// Max aggregates MAX(col).
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	case Var:
+		return "VAR"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Range is an inclusive range condition on a column's ordinal axis:
+// Lo <= ord(col) <= Hi. Equality and one-sided conditions are expressed by
+// collapsing or extending the endpoints (paper footnote 2).
+type Range struct {
+	Col    string
+	Lo, Hi float64
+}
+
+// Query is an aggregation query: SELECT f(col) FROM t WHERE ranges...
+// [GROUP BY groupBy...]. Ranges on the same column intersect.
+type Query struct {
+	Func    AggFunc
+	Col     string
+	Ranges  []Range
+	GroupBy []string
+}
+
+// String renders the query in the paper's abbreviated SUM(x1:y1, ...) form.
+func (q Query) String() string {
+	s := fmt.Sprintf("%s(%s)[", q.Func, q.Col)
+	for i, r := range q.Ranges {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%g..%g", r.Col, r.Lo, r.Hi)
+	}
+	s += "]"
+	if len(q.GroupBy) > 0 {
+		s += " GROUP BY "
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				s += ","
+			}
+			s += g
+		}
+	}
+	return s
+}
+
+// Filter evaluates the conjunction of ranges and returns the selection
+// bitset. A query with no ranges selects every row.
+func (t *Table) Filter(ranges []Range) (*Bitset, error) {
+	n := t.NumRows()
+	sel := NewBitset(n)
+	sel.SetAll()
+	for _, r := range ranges {
+		c, err := t.Column(r.Col)
+		if err != nil {
+			return nil, err
+		}
+		cur := NewBitset(n)
+		applyRangeZoned(c, r, cur)
+		sel.And(cur)
+	}
+	return sel, nil
+}
+
+// applyRange sets bits of rows whose ordinal falls inside r, specialized
+// per column type so the hot loop stays branch-light.
+func applyRange(c *Column, r Range, out *Bitset) {
+	switch c.Type {
+	case Int64:
+		lo, hi := r.Lo, r.Hi
+		for i, v := range c.Ints {
+			f := float64(v)
+			if f >= lo && f <= hi {
+				out.Set(i)
+			}
+		}
+	case Float64:
+		lo, hi := r.Lo, r.Hi
+		for i, v := range c.Floats {
+			if v >= lo && v <= hi {
+				out.Set(i)
+			}
+		}
+	default:
+		ranks := c.ranks()
+		lo, hi := r.Lo, r.Hi
+		for i, code := range c.Codes {
+			f := float64(ranks[code])
+			if f >= lo && f <= hi {
+				out.Set(i)
+			}
+		}
+	}
+}
+
+// Result is the output of an exact query: the scalar answer, or one row
+// per group for group-by queries.
+type Result struct {
+	Value  float64
+	Groups []GroupRow
+}
+
+// GroupRow is one group's key and aggregate value.
+type GroupRow struct {
+	Key   string
+	Value float64
+	Rows  int
+}
+
+// Execute runs the query exactly over the full table. This is the "ground
+// truth" path (and the full-scan baseline the paper times DBX on).
+func (t *Table) Execute(q Query) (Result, error) {
+	sel, err := t.Filter(q.Ranges)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(q.GroupBy) == 0 {
+		v, err := t.aggregateSelected(q, sel)
+		return Result{Value: v}, err
+	}
+	return t.groupAggregate(q, sel)
+}
+
+func (t *Table) aggregateSelected(q Query, sel *Bitset) (float64, error) {
+	var col *Column
+	if q.Func != Count {
+		var err error
+		col, err = t.Column(q.Col)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var agg aggState
+	sel.ForEach(func(i int) {
+		if col != nil {
+			agg.add(col.Float(i))
+		} else {
+			agg.add(0)
+		}
+	})
+	return agg.finish(q.Func)
+}
+
+func (t *Table) groupAggregate(q Query, sel *Bitset) (Result, error) {
+	var col *Column
+	if q.Func != Count {
+		var err error
+		col, err = t.Column(q.Col)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	groupCols := make([]*Column, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		c, err := t.Column(g)
+		if err != nil {
+			return Result{}, err
+		}
+		groupCols[i] = c
+	}
+	type slot struct {
+		order int
+		agg   aggState
+	}
+	states := make(map[string]*slot)
+	order := 0
+	sel.ForEach(func(i int) {
+		key := groupKey(groupCols, i)
+		s, ok := states[key]
+		if !ok {
+			s = &slot{order: order}
+			order++
+			states[key] = s
+		}
+		if col != nil {
+			s.agg.add(col.Float(i))
+		} else {
+			s.agg.add(0)
+		}
+	})
+	rows := make([]GroupRow, order)
+	for key, s := range states {
+		v, err := s.agg.finish(q.Func)
+		if err != nil {
+			return Result{}, err
+		}
+		rows[s.order] = GroupRow{Key: key, Value: v, Rows: int(s.agg.n)}
+	}
+	return Result{Groups: rows}, nil
+}
+
+// GroupKey renders the group-by key for row i, matching the keys produced
+// by Execute on group-by queries.
+func GroupKey(cols []*Column, row int) string { return groupKey(cols, row) }
+
+func groupKey(cols []*Column, row int) string {
+	key := ""
+	for j, g := range cols {
+		if j > 0 {
+			key += "|"
+		}
+		key += g.StringAt(row)
+	}
+	return key
+}
+
+// aggState accumulates one group's running aggregate.
+type aggState struct {
+	n         int64
+	sum, sum2 float64
+	min, max  float64
+}
+
+func (a *aggState) add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	a.sum += x
+	a.sum2 += x * x
+}
+
+func (a *aggState) finish(f AggFunc) (float64, error) {
+	switch f {
+	case Sum:
+		return a.sum, nil
+	case Count:
+		return float64(a.n), nil
+	case Avg:
+		if a.n == 0 {
+			return 0, nil
+		}
+		return a.sum / float64(a.n), nil
+	case Var:
+		if a.n == 0 {
+			return 0, nil
+		}
+		m := a.sum / float64(a.n)
+		return a.sum2/float64(a.n) - m*m, nil
+	case Min:
+		return a.min, nil
+	case Max:
+		return a.max, nil
+	default:
+		return 0, fmt.Errorf("engine: unsupported aggregate %v", f)
+	}
+}

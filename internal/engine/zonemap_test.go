@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"testing"
+
+	"aqppp/internal/stats"
+)
+
+// zonedTable builds a table big enough to trigger zone-mapped filtering,
+// with one clustered column (sorted: zones skip aggressively) and one
+// shuffled column (zones barely help but must stay correct).
+func zonedTable(n int, seed uint64) *Table {
+	r := stats.NewRNG(seed)
+	clustered := make([]int64, n)
+	shuffled := make([]int64, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		clustered[i] = int64(i)
+		shuffled[i] = int64(r.Intn(n))
+		vals[i] = r.Float64() * 100
+	}
+	return MustNewTable("z",
+		NewIntColumn("clustered", clustered),
+		NewIntColumn("shuffled", shuffled),
+		NewFloatColumn("v", vals),
+	)
+}
+
+func TestZonedFilterMatchesUnzoned(t *testing.T) {
+	tbl := zonedTable(3*zoneBlockSize+17, 1)
+	r := stats.NewRNG(2)
+	for trial := 0; trial < 30; trial++ {
+		col := "clustered"
+		if trial%2 == 1 {
+			col = "shuffled"
+		}
+		lo := float64(r.Intn(tbl.NumRows()))
+		hi := lo + float64(r.Intn(tbl.NumRows()/2))
+		rng := Range{Col: col, Lo: lo, Hi: hi}
+		c := tbl.MustColumn(col)
+		zoned := NewBitset(tbl.NumRows())
+		applyRangeZoned(c, rng, zoned)
+		plain := NewBitset(tbl.NumRows())
+		applyRange(c, rng, plain)
+		if zoned.Count() != plain.Count() {
+			t.Fatalf("trial %d: zoned %d rows != plain %d", trial, zoned.Count(), plain.Count())
+		}
+		for i := 0; i < tbl.NumRows(); i++ {
+			if zoned.Get(i) != plain.Get(i) {
+				t.Fatalf("trial %d row %d: zoned %v plain %v", trial, i, zoned.Get(i), plain.Get(i))
+			}
+		}
+	}
+}
+
+func TestZoneMapEdgeBlocks(t *testing.T) {
+	// Exactly one partial tail block.
+	n := zoneBlockSize*2 + 1
+	tbl := zonedTable(n, 3)
+	c := tbl.MustColumn("clustered")
+	out := NewBitset(n)
+	applyRangeZoned(c, Range{Col: "clustered", Lo: float64(n - 1), Hi: float64(n + 10)}, out)
+	if out.Count() != 1 || !out.Get(n-1) {
+		t.Errorf("tail block filtering wrong: count=%d", out.Count())
+	}
+}
+
+func TestZoneMapInvalidatedByAppend(t *testing.T) {
+	n := 3 * zoneBlockSize
+	tbl := zonedTable(n, 4)
+	q := Query{Func: Count, Ranges: []Range{{Col: "clustered", Lo: float64(n), Hi: float64(n + 100)}}}
+	res, err := tbl.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("rows beyond domain matched: %v", res.Value)
+	}
+	// Append a row landing inside the previously-empty range; the zone
+	// map must pick it up.
+	if err := tbl.AppendRow(int64(n+5), int64(0), 1.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err = tbl.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 1 {
+		t.Errorf("appended row invisible to zoned filter: %v", res.Value)
+	}
+}
+
+func TestAppendRowValidation(t *testing.T) {
+	tbl := MustNewTable("t",
+		NewIntColumn("i", []int64{1}),
+		NewFloatColumn("f", []float64{1}),
+		NewStringColumn("s", []string{"a"}),
+	)
+	if err := tbl.AppendRow(int64(2), 2.5); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tbl.AppendRow("x", 2.5, "b"); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if tbl.NumRows() != 1 {
+		t.Fatalf("failed appends mutated the table: %d rows", tbl.NumRows())
+	}
+	if err := tbl.AppendRow(2, 2.5, "b"); err != nil { // plain int accepted
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+	if got := tbl.MustColumn("s").StringAt(1); got != "b" {
+		t.Errorf("appended string = %q", got)
+	}
+}
+
+func BenchmarkFilterZonedClustered(b *testing.B) {
+	tbl := zonedTable(200000, 5)
+	rng := []Range{{Col: "clustered", Lo: 50000, Hi: 52000}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Filter(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterShuffled(b *testing.B) {
+	tbl := zonedTable(200000, 6)
+	rng := []Range{{Col: "shuffled", Lo: 50000, Hi: 52000}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Filter(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

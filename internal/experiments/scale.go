@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the synthetic datasets: Table 1, Figures 7(a-c), 8,
+// 9, 10(a-b) and 11(a-b). Each experiment has a Run function returning a
+// typed report whose String method prints the same rows/series the paper
+// reports.
+//
+// The paper runs 100-200 GB datasets on a commercial OLAP server; this
+// harness defaults to laptop scale (see DESIGN.md substitution #2) and
+// scales sample rates and cube budgets so that sample sizes and
+// cells-per-query stay in the paper's regime. Absolute numbers differ;
+// the comparisons' shape is what EXPERIMENTS.md tracks.
+package experiments
+
+import (
+	"os"
+	"strconv"
+)
+
+// Scale bundles the dataset and workload sizes of a harness run.
+type Scale struct {
+	// TPCDRows, BigBenchRows, TLCRows size the three datasets (paper:
+	// 600M / 752M / 1400M).
+	TPCDRows, BigBenchRows, TLCRows int
+	// Queries is the workload size per experiment (paper: 1000).
+	Queries int
+	// SampleRate is the default sampling rate (paper: 0.05%; scaled up
+	// so the sample keeps >= ~1000 rows at laptop row counts).
+	SampleRate float64
+	// K is the default BP-Cube cell budget (paper: 50000).
+	K int
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// Default returns the laptop-scale defaults used by `go test -bench` and
+// the examples.
+func Default() Scale {
+	return Scale{
+		TPCDRows:     150000,
+		BigBenchRows: 120000,
+		TLCRows:      150000,
+		Queries:      100,
+		SampleRate:   0.01,
+		K:            2000,
+		Seed:         42,
+	}
+}
+
+// Small returns a fast scale for unit tests.
+func Small() Scale {
+	return Scale{
+		TPCDRows:     20000,
+		BigBenchRows: 15000,
+		TLCRows:      20000,
+		Queries:      12,
+		SampleRate:   0.02,
+		K:            200,
+		Seed:         42,
+	}
+}
+
+// FromEnv starts from Default and applies AQPPP_* environment overrides:
+// AQPPP_TPCD_ROWS, AQPPP_BIGBENCH_ROWS, AQPPP_TLC_ROWS, AQPPP_QUERIES,
+// AQPPP_SAMPLE_RATE, AQPPP_K, AQPPP_SEED.
+func FromEnv() Scale {
+	sc := Default()
+	intEnv := func(name string, dst *int) {
+		if v := os.Getenv(name); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				*dst = n
+			}
+		}
+	}
+	intEnv("AQPPP_TPCD_ROWS", &sc.TPCDRows)
+	intEnv("AQPPP_BIGBENCH_ROWS", &sc.BigBenchRows)
+	intEnv("AQPPP_TLC_ROWS", &sc.TLCRows)
+	intEnv("AQPPP_QUERIES", &sc.Queries)
+	intEnv("AQPPP_K", &sc.K)
+	if v := os.Getenv("AQPPP_SAMPLE_RATE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			sc.SampleRate = f
+		}
+	}
+	if v := os.Getenv("AQPPP_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			sc.Seed = n
+		}
+	}
+	return sc
+}

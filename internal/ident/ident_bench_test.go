@@ -1,0 +1,55 @@
+package ident
+
+import (
+	"testing"
+
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/sample"
+)
+
+// BenchmarkSelectBest1D measures identification cost with 5 candidates.
+func BenchmarkSelectBest1D(b *testing.B) {
+	tbl := buildData(50000, 1)
+	c, err := cube.Build(tbl, cube.Template{Agg: "a", Dims: []string{"c1"}},
+		[][]float64{equalPoints(50, 100)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sample.NewUniform(tbl, 0.02, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := s.Subsample(0.25, 3)
+	q := engine.Query{Func: engine.Sum, Col: "a",
+		Ranges: []engine.Range{{Col: "c1", Lo: 13, Hi: 71}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectBest(c, q, sub, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectBest2D measures the 17-candidate case.
+func BenchmarkSelectBest2D(b *testing.B) {
+	tbl := buildData(50000, 4)
+	c, err := cube.Build(tbl, cube.Template{Agg: "a", Dims: []string{"c1", "c2"}},
+		[][]float64{equalPoints(20, 100), equalPoints(10, 50)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sample.NewUniform(tbl, 0.02, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := s.Subsample(0.1, 6)
+	q := engine.Query{Func: engine.Sum, Col: "a", Ranges: []engine.Range{
+		{Col: "c1", Lo: 13, Hi: 71}, {Col: "c2", Lo: 7, Hi: 33}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectBest(c, q, sub, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package linalg provides the small dense linear-algebra kernel the APA+
+// baseline needs: solving the KKT system of an equality-constrained
+// least-squares problem. It replaces the commercial QP solver (gurobi)
+// the paper used — with only linear equality constraints the optimum has
+// a closed form, so an exact dense solve suffices (DESIGN.md
+// substitution #4).
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTransVec returns mᵀ·x.
+func (m *Matrix) MulTransVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("linalg: MulTransVec dimension mismatch")
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// Gram returns m·mᵀ (Rows×Rows).
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Rows, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := i; j < m.Rows; j++ {
+			rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+			s := 0.0
+			for k := range ri {
+				s += ri[k] * rj[k]
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+	return g
+}
+
+// Solve solves A·x = b in place (A is destroyed) by Gaussian elimination
+// with partial pivoting. A must be square. Singular systems (to within a
+// relative pivot tolerance) return an error.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d for %dx%d system", len(b), n, n)
+	}
+	x := append([]float64(nil), b...)
+	// Scale tolerance by the largest magnitude in A.
+	maxAbs := 0.0
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	tol := 1e-12 * math.Max(maxAbs, 1)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a.At(r, col)) > math.Abs(a.At(p, col)) {
+				p = r
+			}
+		}
+		if math.Abs(a.At(p, col)) <= tol {
+			return nil, fmt.Errorf("linalg: singular system at column %d", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				a.Data[p*n+j], a.Data[col*n+j] = a.Data[col*n+j], a.Data[p*n+j]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Data[r*n+j] -= f * a.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for j := col + 1; j < n; j++ {
+			s -= a.At(col, j) * x[j]
+		}
+		x[col] = s / a.At(col, col)
+	}
+	return x, nil
+}
+
+// LeastSquaresWithConstraints solves
+//
+//	min_w ||w - w0||²  s.t.  B·w = f
+//
+// via the KKT conditions: w = w0 + Bᵀλ with (B·Bᵀ)λ = f − B·w0. When the
+// Gram matrix is singular (redundant constraints), a small ridge is added
+// to the diagonal, which projects onto the consistent subspace.
+func LeastSquaresWithConstraints(b *Matrix, w0, f []float64) ([]float64, error) {
+	if len(w0) != b.Cols {
+		return nil, fmt.Errorf("linalg: w0 length %d for %d columns", len(w0), b.Cols)
+	}
+	if len(f) != b.Rows {
+		return nil, fmt.Errorf("linalg: f length %d for %d constraints", len(f), b.Rows)
+	}
+	rhs := b.MulVec(w0)
+	for i := range rhs {
+		rhs[i] = f[i] - rhs[i]
+	}
+	g := b.Gram()
+	lambda, err := Solve(g, rhs)
+	if err != nil {
+		// Redundant constraints: regularize. Rebuild the Gram matrix
+		// (Solve destroyed it) with a ridge proportional to its trace.
+		g = b.Gram()
+		trace := 0.0
+		for i := 0; i < g.Rows; i++ {
+			trace += g.At(i, i)
+		}
+		ridge := 1e-9 * math.Max(trace/float64(g.Rows), 1)
+		for i := 0; i < g.Rows; i++ {
+			g.Set(i, i, g.At(i, i)+ridge)
+		}
+		lambda, err = Solve(g, rhs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	adj := b.MulTransVec(lambda)
+	w := make([]float64, len(w0))
+	for i := range w {
+		w[i] = w0[i] + adj[i]
+	}
+	return w, nil
+}

@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/stats"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	r := stats.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(8) + 1
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		cp := NewMatrix(n, n)
+		copy(cp.Data, a.Data)
+		x, err := Solve(cp, b)
+		if err != nil {
+			continue // singular random draws are legal to reject
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := Solve(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestMulVecTransVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = v
+	}
+	got := m.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v", got)
+	}
+	gt := m.MulTransVec([]float64{1, 1})
+	if gt[0] != 5 || gt[1] != 7 || gt[2] != 9 {
+		t.Errorf("MulTransVec = %v", gt)
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Data = []float64{1, 2, 3, 4}
+	g := m.Gram()
+	// [1 2; 3 4]·[1 3; 2 4] = [5 11; 11 25]
+	if g.At(0, 0) != 5 || g.At(0, 1) != 11 || g.At(1, 0) != 11 || g.At(1, 1) != 25 {
+		t.Errorf("Gram = %v", g.Data)
+	}
+}
+
+func TestConstrainedLeastSquares(t *testing.T) {
+	// min ||w - w0||² s.t. w1 + w2 = 10; w0 = (1, 1) → w = (5, 5).
+	b := NewMatrix(1, 2)
+	b.Data = []float64{1, 1}
+	w, err := LeastSquaresWithConstraints(b, []float64{1, 1}, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-5) > 1e-9 || math.Abs(w[1]-5) > 1e-9 {
+		t.Errorf("w = %v, want (5, 5)", w)
+	}
+}
+
+func TestConstrainedLeastSquaresSatisfiesConstraints(t *testing.T) {
+	r := stats.NewRNG(9)
+	for trial := 0; trial < 10; trial++ {
+		n := 40
+		m := 4
+		b := NewMatrix(m, n)
+		for i := range b.Data {
+			b.Data[i] = r.Float64()
+		}
+		w0 := make([]float64, n)
+		for i := range w0 {
+			w0[i] = 1 + r.Float64()
+		}
+		f := make([]float64, m)
+		for i := range f {
+			f[i] = 10 + 5*r.Float64()
+		}
+		w, err := LeastSquaresWithConstraints(b, w0, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.MulVec(w)
+		for i := range f {
+			if math.Abs(got[i]-f[i]) > 1e-6 {
+				t.Fatalf("trial %d: constraint %d: %v != %v", trial, i, got[i], f[i])
+			}
+		}
+	}
+}
+
+func TestConstrainedLeastSquaresRedundantConstraints(t *testing.T) {
+	// Duplicate constraints make the Gram matrix singular; the ridge
+	// fallback must still satisfy them.
+	b := NewMatrix(2, 3)
+	b.Data = []float64{1, 1, 1, 1, 1, 1}
+	w, err := LeastSquaresWithConstraints(b, []float64{0, 0, 0}, []float64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := w[0] + w[1] + w[2]
+	if math.Abs(sum-6) > 1e-3 {
+		t.Errorf("redundant constraints violated: sum = %v", sum)
+	}
+}
+
+func TestConstrainedLeastSquaresValidation(t *testing.T) {
+	b := NewMatrix(1, 2)
+	if _, err := LeastSquaresWithConstraints(b, []float64{1}, []float64{1}); err == nil {
+		t.Error("short w0 accepted")
+	}
+	if _, err := LeastSquaresWithConstraints(b, []float64{1, 2}, nil); err == nil {
+		t.Error("short f accepted")
+	}
+}
+
+func TestMulVecPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.MulVec([]float64{1}) },
+		func() { m.MulTransVec([]float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,43 @@
+package precompute
+
+import "testing"
+
+// BenchmarkPositionErrors measures the O(n) error_i sweep.
+func BenchmarkPositionErrors(b *testing.B) {
+	v := iidView(5000, 1)
+	cuts, err := EqualPartition(v, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PositionErrors(v, cuts)
+	}
+}
+
+// BenchmarkHillClimbGlobal measures a full global climb on correlated
+// data.
+func BenchmarkHillClimbGlobal(b *testing.B) {
+	v := correlatedView(2000, 2)
+	init, err := EqualPartition(v, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HillClimb(v, init, ClimbConfig{Mode: Global, MaxIterations: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildProfile measures the stage-1 profile construction.
+func BenchmarkBuildProfile(b *testing.B) {
+	v := iidView(2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfile(v, 200, 6, ClimbConfig{Mode: Global, MaxIterations: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package precompute
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Profile is a dimension's error profile (§6.2, Figure 6): the
+// hill-climbed error_up as a function of the per-dimension budget k_i,
+// measured at a few anchor budgets and interpolated along the 1/√k decay
+// the equal-partition analysis predicts (Lemma 4).
+type Profile struct {
+	// Ks are the anchor budgets (ascending) and Es the measured errors.
+	Ks []int
+	Es []float64
+	// MaxK is the number of distinct ordinals: at k = MaxK every query
+	// aligns exactly and the error is 0.
+	MaxK int
+}
+
+// BuildProfile measures the profile at up to `anchors` geometrically
+// spaced budgets between 1 and maxK (each via equal partition + hill
+// climbing on the view) and returns an interpolable profile. The paper
+// uses m = 20 anchors by default; small m keeps stage 1 cheap because
+// everything runs on the sample.
+func BuildProfile(v *View, maxK, anchors int, cfg ClimbConfig) (*Profile, error) {
+	if maxK < 1 {
+		return nil, fmt.Errorf("precompute: maxK = %d", maxK)
+	}
+	if anchors < 2 {
+		anchors = 2
+	}
+	distinct := distinctCount(v)
+	if maxK > distinct {
+		maxK = distinct
+	}
+	ks := anchorBudgets(maxK, anchors)
+	p := &Profile{MaxK: distinct}
+	for _, k := range ks {
+		res, err := Optimize1D(v, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Ks = append(p.Ks, k)
+		p.Es = append(p.Es, res.Trace[len(res.Trace)-1])
+	}
+	// Enforce monotone non-increasing errors so inversion is well-defined
+	// (hill climbing is a heuristic; tiny inversions can occur).
+	for i := 1; i < len(p.Es); i++ {
+		if p.Es[i] > p.Es[i-1] {
+			p.Es[i] = p.Es[i-1]
+		}
+	}
+	return p, nil
+}
+
+func distinctCount(v *View) int {
+	d := 0
+	for i := range v.C {
+		if i == 0 || v.C[i] != v.C[i-1] {
+			d++
+		}
+	}
+	return d
+}
+
+// anchorBudgets returns up to `anchors` geometrically spaced budgets from
+// 1 to maxK inclusive.
+func anchorBudgets(maxK, anchors int) []int {
+	if maxK == 1 {
+		return []int{1}
+	}
+	ratio := math.Pow(float64(maxK), 1/float64(anchors-1))
+	var ks []int
+	cur := 1.0
+	for i := 0; i < anchors; i++ {
+		k := int(math.Round(cur))
+		if k > maxK {
+			k = maxK
+		}
+		if len(ks) == 0 || k > ks[len(ks)-1] {
+			ks = append(ks, k)
+		}
+		cur *= ratio
+	}
+	if ks[len(ks)-1] != maxK {
+		ks = append(ks, maxK)
+	}
+	return ks
+}
+
+// ErrorAt interpolates the profile at budget k. Between anchors the
+// interpolation is linear in 1/√k (exact at the anchors); beyond the last
+// anchor it extrapolates the 1/√k decay; at or above MaxK it is 0.
+func (p *Profile) ErrorAt(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if k >= p.MaxK {
+		return 0
+	}
+	ks, es := p.Ks, p.Es
+	if k <= ks[0] {
+		// Extrapolate below the first anchor along 1/√k.
+		return es[0] * math.Sqrt(float64(ks[0])/float64(k))
+	}
+	last := len(ks) - 1
+	if k >= ks[last] {
+		return es[last] * math.Sqrt(float64(ks[last])/float64(k))
+	}
+	i := sort.SearchInts(ks, k)
+	if ks[i] == k {
+		return es[i]
+	}
+	// Linear in f(k) = 1/√k between anchors i-1 and i.
+	f := func(x int) float64 { return 1 / math.Sqrt(float64(x)) }
+	t := (f(k) - f(ks[i-1])) / (f(ks[i]) - f(ks[i-1]))
+	return es[i-1] + t*(es[i]-es[i-1])
+}
+
+// KFor returns the smallest budget whose interpolated error is at most e,
+// capped at MaxK (where the error is exactly 0).
+func (p *Profile) KFor(e float64) int {
+	if e <= 0 {
+		return p.MaxK
+	}
+	lo, hi := 1, p.MaxK
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.ErrorAt(mid) <= e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

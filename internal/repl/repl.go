@@ -1,0 +1,144 @@
+// Package repl implements the interactive shell behind cmd/aqppp-cli:
+// line-based command handling over a prepared AQP++ session with
+// approximate, sample-only and exact answering modes. It is separated
+// from the binary so the command surface is unit-testable.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"aqppp"
+	"aqppp/internal/aqp"
+	"aqppp/internal/engine"
+	"aqppp/internal/sql"
+)
+
+// Session holds the state one shell operates on.
+type Session struct {
+	DB       *aqppp.DB
+	Table    *engine.Table
+	Prepared *aqppp.Prepared
+}
+
+// NewSession wraps an already-prepared database.
+func NewSession(db *aqppp.DB, tbl *engine.Table, prep *aqppp.Prepared) *Session {
+	return &Session{DB: db, Table: tbl, Prepared: prep}
+}
+
+// Run reads commands from r line by line, writing responses to w, until
+// EOF or a quit command.
+func (s *Session) Run(r io.Reader, w io.Writer) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(w, "aqppp> ")
+	for scanner.Scan() {
+		if !s.HandleLine(scanner.Text(), w) {
+			return nil
+		}
+		fmt.Fprint(w, "aqppp> ")
+	}
+	return scanner.Err()
+}
+
+// HandleLine processes one command line; it returns false when the shell
+// should exit.
+func (s *Session) HandleLine(line string, w io.Writer) bool {
+	line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+	switch {
+	case line == "":
+	case line == ".quit" || line == ".exit":
+		return false
+	case line == ".help":
+		fmt.Fprintln(w, helpText)
+	case line == ".schema":
+		s.printSchema(w)
+	case line == ".stats":
+		s.printStats(w)
+	case strings.HasPrefix(line, ".exact "):
+		s.runExact(w, strings.TrimPrefix(line, ".exact "))
+	case strings.HasPrefix(line, ".aqp "):
+		s.runAQP(w, strings.TrimPrefix(line, ".aqp "))
+	case strings.HasPrefix(line, "."):
+		fmt.Fprintf(w, "unknown command %q; try .help\n", line)
+	default:
+		s.runApprox(w, line)
+	}
+	return true
+}
+
+const helpText = "SELECT ...;        approximate answer (AQP++)\n" +
+	".aqp SELECT ...;   plain AQP on the same sample\n" +
+	".exact SELECT ...; exact full scan\n" +
+	".stats             preprocessing statistics\n" +
+	".schema            table schema\n" +
+	".quit"
+
+func (s *Session) printSchema(w io.Writer) {
+	sc := s.Table.Schema()
+	for i, n := range sc.Names {
+		fmt.Fprintf(w, "  %-24s %v\n", n, sc.Types[i])
+	}
+}
+
+func (s *Session) printStats(w io.Writer) {
+	st := s.Prepared.Stats()
+	fmt.Fprintf(w, "  sample: %d rows (%d bytes)\n  cube:   %d cells, shape %v (%d bytes)\n  built in %.2fs\n",
+		st.SampleRows, st.SampleBytes, st.CubeCells, st.CubeShape, st.CubeBytes, st.TotalSeconds)
+}
+
+func (s *Session) runApprox(w io.Writer, stmt string) {
+	t0 := time.Now()
+	res, err := s.Prepared.Query(stmt)
+	el := time.Since(t0)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	if len(res.Groups) > 0 {
+		for _, g := range res.Groups {
+			fmt.Fprintf(w, "  %-20s %14.2f ± %-12.2f (pre: %s)\n", g.Key, g.Value, g.HalfWidth, g.Pre)
+		}
+		fmt.Fprintf(w, "  [%d groups, %v]\n", len(res.Groups), el.Round(time.Microsecond))
+		return
+	}
+	fmt.Fprintf(w, "  %14.2f ± %.2f (%.0f%% CI)  pre=%s  [%v]\n",
+		res.Value, res.HalfWidth, 100*res.Confidence, res.Pre, el.Round(time.Microsecond))
+}
+
+func (s *Session) runAQP(w io.Writer, stmt string) {
+	q, err := sql.ParseAndCompile(stmt, s.Table)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	t0 := time.Now()
+	est, err := aqp.EstimateQuery(s.Prepared.Sample(), q, 0.95)
+	el := time.Since(t0)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	fmt.Fprintf(w, "  %14.2f ± %.2f (95%% CI, plain AQP)  [%v]\n", est.Value, est.HalfWidth, el.Round(time.Microsecond))
+}
+
+func (s *Session) runExact(w io.Writer, stmt string) {
+	t0 := time.Now()
+	res, err := s.DB.Exact(stmt)
+	el := time.Since(t0)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	if len(res.Groups) > 0 {
+		for _, g := range res.Groups {
+			fmt.Fprintf(w, "  %-20s %14.2f (%d rows)\n", g.Key, g.Value, g.Rows)
+		}
+		fmt.Fprintf(w, "  [%d groups, %v]\n", len(res.Groups), el.Round(time.Microsecond))
+		return
+	}
+	fmt.Fprintf(w, "  %14.2f (exact)  [%v]\n", res.Value, el.Round(time.Microsecond))
+}

@@ -1,0 +1,66 @@
+package sample
+
+import (
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+// benchTable builds a sampling fixture without *testing.T plumbing.
+func benchTable(n int) *engine.Table {
+	r := stats.NewRNG(99)
+	vals := make([]float64, n)
+	keys := make([]int64, n)
+	grp := make([]string, n)
+	for i := range vals {
+		vals[i] = 10 + 5*r.NormFloat64()
+		if vals[i] < 0.1 {
+			vals[i] = 0.1
+		}
+		keys[i] = int64(i + 1)
+		switch {
+		case i%100 == 0:
+			grp[i] = "rare"
+		case i%2 == 0:
+			grp[i] = "even"
+		default:
+			grp[i] = "odd"
+		}
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("k", keys),
+		engine.NewFloatColumn("v", vals),
+		engine.NewStringColumn("g", grp),
+	)
+}
+
+func BenchmarkUniformSample(b *testing.B) {
+	tbl := benchTable(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewUniform(tbl, 0.01, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureBiasedSample(b *testing.B) {
+	tbl := benchTable(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMeasureBiased(tbl, "v", 0.01, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStratifiedSample(b *testing.B) {
+	tbl := benchTable(200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewStratified(tbl, []string{"g"}, 0.01, 100, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

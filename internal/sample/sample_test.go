@@ -1,0 +1,399 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func makeTable(t *testing.T, n int, seed uint64) *engine.Table {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	vals := make([]float64, n)
+	keys := make([]int64, n)
+	grp := make([]string, n)
+	for i := range vals {
+		vals[i] = 10 + 5*r.NormFloat64()
+		if vals[i] < 0.1 {
+			vals[i] = 0.1
+		}
+		keys[i] = int64(i + 1)
+		if i%100 == 0 {
+			grp[i] = "rare"
+		} else if i%2 == 0 {
+			grp[i] = "even"
+		} else {
+			grp[i] = "odd"
+		}
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("k", keys),
+		engine.NewFloatColumn("v", vals),
+		engine.NewStringColumn("g", grp),
+	)
+}
+
+func TestUniformBasics(t *testing.T) {
+	tbl := makeTable(t, 10000, 1)
+	s, err := NewUniform(tbl, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != Uniform {
+		t.Error("wrong kind")
+	}
+	if got := s.Size(); got != 500 {
+		t.Errorf("size = %d, want 500", got)
+	}
+	if s.SourceRows != 10000 {
+		t.Errorf("source rows = %d", s.SourceRows)
+	}
+	if math.Abs(s.Rate()-0.05) > 1e-9 {
+		t.Errorf("rate = %v", s.Rate())
+	}
+	for _, w := range s.InvP {
+		if w != 10000 {
+			t.Fatalf("uniform InvP = %v, want N", w)
+		}
+	}
+}
+
+func TestUniformNoDuplicates(t *testing.T) {
+	tbl := makeTable(t, 1000, 2)
+	s, err := NewUniform(tbl, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	keys := s.Table.MustColumn("k").Ints
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %d in without-replacement sample", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	tbl := makeTable(t, 1000, 3)
+	a, _ := NewUniform(tbl, 0.1, 9)
+	b, _ := NewUniform(tbl, 0.1, 9)
+	ka, kb := a.Table.MustColumn("k").Ints, b.Table.MustColumn("k").Ints
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	c, _ := NewUniform(tbl, 0.1, 10)
+	kc := c.Table.MustColumn("k").Ints
+	diff := false
+	for i := range ka {
+		if ka[i] != kc[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestUniformRateValidation(t *testing.T) {
+	tbl := makeTable(t, 10, 4)
+	for _, r := range []float64{0, -0.5, 1.5} {
+		if _, err := NewUniform(tbl, r, 1); err == nil {
+			t.Errorf("rate %v accepted", r)
+		}
+	}
+	empty := engine.MustNewTable("e", engine.NewIntColumn("x", nil))
+	if _, err := NewUniform(empty, 0.5, 1); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestUniformTinyRateGivesAtLeastOne(t *testing.T) {
+	tbl := makeTable(t, 100, 5)
+	s, err := NewUniform(tbl, 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() < 1 {
+		t.Error("empty sample")
+	}
+}
+
+func TestMeasureBiasedFavorsLargeValues(t *testing.T) {
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[0] = 1000 // one huge outlier
+	tbl := engine.MustNewTable("t", engine.NewFloatColumn("v", vals))
+	s, err := NewMeasureBiased(tbl, "v", 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < s.Size(); i++ {
+		if s.Table.MustColumn("v").Floats[i] == 1000 {
+			hits++
+		}
+	}
+	// The outlier holds 1000/10999 ≈ 9% of mass; in 500 draws expect ~45.
+	if hits < 10 {
+		t.Errorf("outlier drawn %d times, expected heavy representation", hits)
+	}
+}
+
+func TestMeasureBiasedWeights(t *testing.T) {
+	tbl := engine.MustNewTable("t", engine.NewFloatColumn("v", []float64{1, 2, 3, 4}))
+	s, err := NewMeasureBiased(tbl, "v", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// InvP must equal T/a_i = 10/a_i for every draw.
+	for i := 0; i < s.Size(); i++ {
+		a := s.Table.MustColumn("v").Floats[i]
+		if got := s.InvP[i]; math.Abs(got-10/a) > 1e-9 {
+			t.Errorf("draw %d: InvP = %v, want %v", i, got, 10/a)
+		}
+	}
+}
+
+func TestMeasureBiasedSumEstimateUnbiasedish(t *testing.T) {
+	tbl := makeTable(t, 5000, 6)
+	truth := 0.0
+	for _, v := range tbl.MustColumn("v").Floats {
+		truth += v
+	}
+	var errs []float64
+	for trial := uint64(0); trial < 20; trial++ {
+		s, err := NewMeasureBiased(tbl, "v", 0.02, 100+trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := 0.0
+		for i := 0; i < s.Size(); i++ {
+			est += s.Table.MustColumn("v").Floats[i] * s.InvP[i]
+		}
+		est /= float64(s.Size())
+		errs = append(errs, (est-truth)/truth)
+	}
+	if m := stats.Mean(errs); math.Abs(m) > 0.02 {
+		t.Errorf("mean relative bias = %v, want ~0", m)
+	}
+}
+
+func TestMeasureBiasedErrors(t *testing.T) {
+	tbl := makeTable(t, 10, 7)
+	if _, err := NewMeasureBiased(tbl, "nope", 0.5, 1); err == nil {
+		t.Error("missing measure column accepted")
+	}
+	zero := engine.MustNewTable("z", engine.NewFloatColumn("v", []float64{0, 0, -1}))
+	if _, err := NewMeasureBiased(zero, "v", 0.5, 1); err == nil {
+		t.Error("non-positive measure accepted")
+	}
+}
+
+func TestMeasureBiasedSkipsZeroMass(t *testing.T) {
+	tbl := engine.MustNewTable("t", engine.NewFloatColumn("v", []float64{0, 5, 0, 0, 5, 0}))
+	s, err := NewMeasureBiased(tbl, "v", 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Size(); i++ {
+		if s.Table.MustColumn("v").Floats[i] <= 0 {
+			t.Fatal("zero-mass row drawn")
+		}
+	}
+}
+
+func TestStratifiedMinRows(t *testing.T) {
+	tbl := makeTable(t, 10000, 8)
+	s, err := NewStratified(tbl, []string{"g"}, 0.01, 50, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Strata) != 3 {
+		t.Fatalf("strata = %+v", s.Strata)
+	}
+	for _, st := range s.Strata {
+		if st.Key == "rare" {
+			// 100 source rows; 1% would be 1 row, but minRows lifts it to 50.
+			if st.SampleRows != 50 {
+				t.Errorf("rare stratum sampled %d rows, want 50", st.SampleRows)
+			}
+		} else if st.SampleRows < 40 {
+			t.Errorf("stratum %q sampled %d rows", st.Key, st.SampleRows)
+		}
+		if st.SampleRows > st.SourceRows {
+			t.Errorf("stratum %q oversampled", st.Key)
+		}
+	}
+}
+
+func TestStratifiedFullSmallGroup(t *testing.T) {
+	tbl := makeTable(t, 1000, 9)
+	s, err := NewStratified(tbl, []string{"g"}, 0.01, 100, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range s.Strata {
+		if st.Key == "rare" && st.SampleRows != st.SourceRows {
+			t.Errorf("rare group: %d/%d sampled, want all", st.SampleRows, st.SourceRows)
+		}
+	}
+}
+
+func TestStratifiedStratumOfConsistent(t *testing.T) {
+	tbl := makeTable(t, 2000, 10)
+	s, err := NewStratified(tbl, []string{"g"}, 0.05, 10, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcol := s.Table.MustColumn("g")
+	counts := make([]int, len(s.Strata))
+	for i := 0; i < s.Size(); i++ {
+		si := s.StratumOf[i]
+		if s.Strata[si].Key != gcol.StringAt(i) {
+			t.Fatalf("row %d: stratum key %q but value %q", i, s.Strata[si].Key, gcol.StringAt(i))
+		}
+		counts[si]++
+	}
+	for si, st := range s.Strata {
+		if counts[si] != st.SampleRows {
+			t.Errorf("stratum %q: %d rows present, SampleRows=%d", st.Key, counts[si], st.SampleRows)
+		}
+	}
+}
+
+func TestStratifiedValidation(t *testing.T) {
+	tbl := makeTable(t, 10, 11)
+	if _, err := NewStratified(tbl, nil, 0.5, 1, 1); err == nil {
+		t.Error("no stratify columns accepted")
+	}
+	if _, err := NewStratified(tbl, []string{"nope"}, 0.5, 1, 1); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestSubsamplePreservesWeights(t *testing.T) {
+	tbl := makeTable(t, 5000, 12)
+	s, _ := NewUniform(tbl, 0.1, 31)
+	sub := s.Subsample(0.25, 32)
+	if sub.Size() != 125 {
+		t.Errorf("subsample size = %d, want 125", sub.Size())
+	}
+	for _, w := range sub.InvP {
+		if w != 5000 {
+			t.Fatalf("subsample InvP = %v", w)
+		}
+	}
+	if sub.SourceRows != 5000 {
+		t.Errorf("subsample SourceRows = %d", sub.SourceRows)
+	}
+}
+
+func TestSubsampleStratifiedStructure(t *testing.T) {
+	tbl := makeTable(t, 5000, 13)
+	s, _ := NewStratified(tbl, []string{"g"}, 0.1, 20, 33)
+	sub := s.Subsample(0.5, 34)
+	total := 0
+	for _, st := range sub.Strata {
+		total += st.SampleRows
+	}
+	if total != sub.Size() {
+		t.Errorf("stratum rows %d != size %d", total, sub.Size())
+	}
+	gcol := sub.Table.MustColumn("g")
+	for i := 0; i < sub.Size(); i++ {
+		if sub.Strata[sub.StratumOf[i]].Key != gcol.StringAt(i) {
+			t.Fatal("subsample stratum mapping broken")
+		}
+	}
+}
+
+func TestSubsampleMinimumTwoRows(t *testing.T) {
+	tbl := makeTable(t, 100, 14)
+	s, _ := NewUniform(tbl, 0.1, 35)
+	sub := s.Subsample(0.0001, 36)
+	if sub.Size() < 2 {
+		t.Errorf("subsample size = %d, want >= 2", sub.Size())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Uniform.String() != "uniform" || MeasureBiased.String() != "measure-biased" || Stratified.String() != "stratified" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestWorkloadDrivenUnbiased(t *testing.T) {
+	tbl := makeTable(t, 10000, 20)
+	hot := engine.Query{Func: engine.Sum, Col: "v",
+		Ranges: []engine.Range{{Col: "k", Lo: 1000, Hi: 2000}}}
+	truth := 0.0
+	for _, v := range tbl.MustColumn("v").Floats {
+		truth += v
+	}
+	var errs []float64
+	for trial := uint64(0); trial < 20; trial++ {
+		s, err := NewWorkloadDriven(tbl, []engine.Query{hot}, 0.05, 1, 500+trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := 0.0
+		for i := 0; i < s.Size(); i++ {
+			est += s.Table.MustColumn("v").Floats[i] * s.InvP[i]
+		}
+		est /= float64(s.Size())
+		errs = append(errs, (est-truth)/truth)
+	}
+	if m := stats.Mean(errs); math.Abs(m) > 0.03 {
+		t.Errorf("mean relative bias = %v on full-table SUM", m)
+	}
+}
+
+func TestWorkloadDrivenOversamplesHotRegion(t *testing.T) {
+	tbl := makeTable(t, 10000, 21)
+	hot := engine.Query{Func: engine.Sum, Col: "v",
+		Ranges: []engine.Range{{Col: "k", Lo: 1, Hi: 500}}} // 5% of rows
+	s, err := NewWorkloadDriven(tbl, []engine.Query{hot, hot, hot}, 0.05, 1, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHot := 0
+	kcol := s.Table.MustColumn("k")
+	for i := 0; i < s.Size(); i++ {
+		if kcol.Ints[i] <= 500 {
+			inHot++
+		}
+	}
+	// The hot 5% of rows carry mass 4 vs 1: expect ~17% of draws, far
+	// above the uniform 5%.
+	frac := float64(inHot) / float64(s.Size())
+	if frac < 0.10 {
+		t.Errorf("hot-region share = %v, want oversampled", frac)
+	}
+}
+
+func TestWorkloadDrivenValidation(t *testing.T) {
+	tbl := makeTable(t, 100, 23)
+	q := engine.Query{Func: engine.Sum, Col: "v"}
+	if _, err := NewWorkloadDriven(tbl, nil, 0.1, 1, 1); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := NewWorkloadDriven(tbl, []engine.Query{q}, 0, 1, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewWorkloadDriven(tbl, []engine.Query{q}, 0.1, -1, 1); err == nil {
+		t.Error("negative base weight accepted")
+	}
+	bad := engine.Query{Func: engine.Sum, Col: "v", Ranges: []engine.Range{{Col: "nope"}}}
+	if _, err := NewWorkloadDriven(tbl, []engine.Query{bad}, 0.1, 1, 1); err == nil {
+		t.Error("bad workload query accepted")
+	}
+}

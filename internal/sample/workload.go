@@ -1,0 +1,71 @@
+package sample
+
+import (
+	"fmt"
+	"sort"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+// NewWorkloadDriven draws a sample biased toward the regions a historical
+// workload actually touches — the "workload-driven sample creation"
+// direction the paper's §8 names. Each row's sampling mass is
+// baseWeight + (number of workload queries selecting it); rows are drawn
+// with replacement proportionally to mass and carry Horvitz-Thompson
+// weights, so every estimator stays unbiased for arbitrary queries while
+// variance drops on workload-like ones. baseWeight > 0 keeps untouched
+// rows reachable (default 1 when zero).
+func NewWorkloadDriven(tbl *engine.Table, queries []engine.Query, rate, baseWeight float64, seed uint64) (*Sample, error) {
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("sample: workload-driven rate %v out of (0, 1]", rate)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("sample: workload-driven sampling needs at least one query")
+	}
+	if baseWeight == 0 {
+		baseWeight = 1
+	}
+	if baseWeight < 0 {
+		return nil, fmt.Errorf("sample: negative base weight %v", baseWeight)
+	}
+	n := tbl.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("sample: cannot sample empty table %q", tbl.Name)
+	}
+	mass := make([]float64, n)
+	for i := range mass {
+		mass[i] = baseWeight
+	}
+	for _, q := range queries {
+		sel, err := tbl.Filter(q.Ranges)
+		if err != nil {
+			return nil, err
+		}
+		sel.ForEach(func(i int) { mass[i]++ })
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i, m := range mass {
+		total += m
+		cum[i] = total
+	}
+	size := int(rate*float64(n) + 0.5)
+	if size < 1 {
+		size = 1
+	}
+	r := stats.NewRNG(seed)
+	idx := make([]int, size)
+	invp := make([]float64, size)
+	for d := 0; d < size; d++ {
+		u := r.Float64() * total
+		i := sort.SearchFloat64s(cum, u)
+		if i >= n {
+			i = n - 1
+		}
+		idx[d] = i
+		invp[d] = total / mass[i]
+	}
+	st := tbl.Gather(tbl.Name+"_wdsample", idx)
+	return &Sample{Kind: MeasureBiased, Table: st, SourceRows: n, InvP: invp}, nil
+}

@@ -1,0 +1,218 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aqppp/internal/engine"
+)
+
+// Compile lowers a parsed statement onto a concrete table, resolving
+// string literals to dictionary ordinals and merging per-column
+// conditions into intersected ordinal ranges.
+func Compile(st *Statement, tbl *engine.Table) (engine.Query, error) {
+	if st.Table != tbl.Name {
+		return engine.Query{}, fmt.Errorf("sql: statement targets table %q, got %q", st.Table, tbl.Name)
+	}
+	q := engine.Query{Func: st.Agg, GroupBy: st.GroupBy}
+	if st.Col != "*" {
+		if !tbl.HasColumn(st.Col) {
+			return engine.Query{}, fmt.Errorf("sql: unknown column %q", st.Col)
+		}
+		q.Col = st.Col
+	}
+	for _, g := range st.GroupBy {
+		if !tbl.HasColumn(g) {
+			return engine.Query{}, fmt.Errorf("sql: unknown group-by column %q", g)
+		}
+	}
+	// Merge conditions per column.
+	type bounds struct {
+		lo, hi float64
+		seen   bool
+	}
+	acc := map[string]*bounds{}
+	var order []string
+	for _, c := range st.Conds {
+		col, err := tbl.Column(c.Col)
+		if err != nil {
+			return engine.Query{}, err
+		}
+		lo, hi, err := condBounds(col, c)
+		if err != nil {
+			return engine.Query{}, err
+		}
+		b, ok := acc[c.Col]
+		if !ok {
+			b = &bounds{lo: math.Inf(-1), hi: math.Inf(1)}
+			acc[c.Col] = b
+			order = append(order, c.Col)
+		}
+		if lo > b.lo {
+			b.lo = lo
+		}
+		if hi < b.hi {
+			b.hi = hi
+		}
+		b.seen = true
+	}
+	for _, name := range order {
+		b := acc[name]
+		lo, hi := b.lo, b.hi
+		if math.IsInf(lo, -1) {
+			domLo, _ := tbl.MustColumn(name).OrdinalDomain()
+			lo = domLo
+		}
+		if math.IsInf(hi, 1) {
+			_, domHi := tbl.MustColumn(name).OrdinalDomain()
+			hi = domHi
+		}
+		q.Ranges = append(q.Ranges, engine.Range{Col: name, Lo: lo, Hi: hi})
+	}
+	return q, nil
+}
+
+// condBounds translates one conjunct into an inclusive ordinal range.
+func condBounds(col *engine.Column, c Cond) (float64, float64, error) {
+	switch c.Op {
+	case "between":
+		lo, err := valueOrdinal(col, c.Val, boundLower)
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err := valueOrdinal(col, c.Val2, boundUpper)
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, hi, nil
+	case "=":
+		lo, err := valueOrdinal(col, c.Val, boundLower)
+		if err != nil {
+			return 0, 0, err
+		}
+		hi, err := valueOrdinal(col, c.Val, boundUpper)
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, hi, nil
+	case "<=":
+		hi, err := valueOrdinal(col, c.Val, boundUpper)
+		if err != nil {
+			return 0, 0, err
+		}
+		return math.Inf(-1), hi, nil
+	case ">=":
+		lo, err := valueOrdinal(col, c.Val, boundLower)
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, math.Inf(1), nil
+	case "<":
+		hi, err := strictBelow(col, c.Val)
+		if err != nil {
+			return 0, 0, err
+		}
+		return math.Inf(-1), hi, nil
+	case ">":
+		lo, err := strictAbove(col, c.Val)
+		if err != nil {
+			return 0, 0, err
+		}
+		return lo, math.Inf(1), nil
+	default:
+		return 0, 0, fmt.Errorf("sql: unknown operator %q", c.Op)
+	}
+}
+
+type boundSide uint8
+
+const (
+	boundLower boundSide = iota
+	boundUpper
+)
+
+// valueOrdinal maps a literal onto the column's ordinal axis. For string
+// columns the ordinal is the value's lexicographic rank among the
+// dictionary entries; a missing value resolves to the rank it would
+// occupy, with the side deciding whether the (absent) value itself is
+// inside the bound — which makes `= 'missing'` an empty range.
+func valueOrdinal(col *engine.Column, v Value, side boundSide) (float64, error) {
+	if col.Type == engine.String {
+		if !v.IsString {
+			return 0, fmt.Errorf("sql: numeric literal for string column %q", col.Name)
+		}
+		rank, exact := stringRank(col, v.Str)
+		if exact {
+			return float64(rank), nil
+		}
+		// Absent value: rank is the count of entries below it. As a lower
+		// bound the first included entry is `rank`; as an upper bound the
+		// last included entry is `rank-1`.
+		if side == boundLower {
+			return float64(rank), nil
+		}
+		return float64(rank) - 1, nil
+	}
+	if v.IsString {
+		return 0, fmt.Errorf("sql: string literal for numeric column %q", col.Name)
+	}
+	return v.Num, nil
+}
+
+// strictBelow returns the largest ordinal strictly below the literal.
+func strictBelow(col *engine.Column, v Value) (float64, error) {
+	if col.Type == engine.String {
+		if !v.IsString {
+			return 0, fmt.Errorf("sql: numeric literal for string column %q", col.Name)
+		}
+		rank, _ := stringRank(col, v.Str)
+		return float64(rank) - 1, nil
+	}
+	if v.IsString {
+		return 0, fmt.Errorf("sql: string literal for numeric column %q", col.Name)
+	}
+	if col.Type == engine.Int64 {
+		return math.Ceil(v.Num) - 1, nil
+	}
+	return math.Nextafter(v.Num, math.Inf(-1)), nil
+}
+
+// strictAbove returns the smallest ordinal strictly above the literal.
+func strictAbove(col *engine.Column, v Value) (float64, error) {
+	if col.Type == engine.String {
+		if !v.IsString {
+			return 0, fmt.Errorf("sql: numeric literal for string column %q", col.Name)
+		}
+		rank, exact := stringRank(col, v.Str)
+		if exact {
+			return float64(rank) + 1, nil
+		}
+		return float64(rank), nil
+	}
+	if v.IsString {
+		return 0, fmt.Errorf("sql: string literal for numeric column %q", col.Name)
+	}
+	if col.Type == engine.Int64 {
+		return math.Floor(v.Num) + 1, nil
+	}
+	return math.Nextafter(v.Num, math.Inf(1)), nil
+}
+
+// stringRank returns the number of dictionary entries lexicographically
+// below s, and whether s is itself present.
+func stringRank(col *engine.Column, s string) (int, bool) {
+	sorted := append([]string(nil), col.Dict...)
+	sort.Strings(sorted)
+	i := sort.SearchStrings(sorted, s)
+	return i, i < len(sorted) && sorted[i] == s
+}
+
+// ParseAndCompile is the one-call convenience: parse then compile.
+func ParseAndCompile(input string, tbl *engine.Table) (engine.Query, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return engine.Query{}, err
+	}
+	return Compile(st, tbl)
+}

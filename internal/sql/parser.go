@@ -1,0 +1,220 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aqppp/internal/engine"
+)
+
+// Statement is the parsed form of a supported SELECT.
+type Statement struct {
+	Agg     engine.AggFunc
+	Col     string // "*" for COUNT(*)
+	Table   string
+	Conds   []Cond
+	GroupBy []string
+}
+
+// Cond is one WHERE conjunct.
+type Cond struct {
+	Col string
+	// Op is one of "=", "<", "<=", ">", ">=", "between".
+	Op  string
+	Val Value
+	// Val2 is BETWEEN's upper bound.
+	Val2 Value
+}
+
+// Value is a literal.
+type Value struct {
+	IsString bool
+	Str      string
+	Num      float64
+}
+
+func (v Value) String() string {
+	if v.IsString {
+		return "'" + v.Str + "'"
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sql: expected %s, got %q (position %d)", kw, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sql: expected %q, got %q (position %d)", s, t.text, t.pos)
+	}
+	return nil
+}
+
+// Parse parses one statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	aggTok := p.next()
+	if aggTok.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected aggregate function, got %q", aggTok.text)
+	}
+	switch strings.ToUpper(aggTok.text) {
+	case "SUM":
+		st.Agg = engine.Sum
+	case "COUNT":
+		st.Agg = engine.Count
+	case "AVG":
+		st.Agg = engine.Avg
+	case "VAR":
+		st.Agg = engine.Var
+	case "MIN":
+		st.Agg = engine.Min
+	case "MAX":
+		st.Agg = engine.Max
+	default:
+		return nil, fmt.Errorf("sql: unsupported aggregate %q", aggTok.text)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	colTok := p.next()
+	switch {
+	case colTok.kind == tokIdent:
+		st.Col = colTok.text
+	case colTok.kind == tokSymbol && colTok.text == "*":
+		if st.Agg != engine.Count {
+			return nil, fmt.Errorf("sql: %s(*) is not supported", strings.ToUpper(aggTok.text))
+		}
+		st.Col = "*"
+	default:
+		return nil, fmt.Errorf("sql: expected column or *, got %q", colTok.text)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tblTok := p.next()
+	if tblTok.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected table name, got %q", tblTok.text)
+	}
+	st.Table = tblTok.text
+
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "WHERE") {
+		p.next()
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			st.Conds = append(st.Conds, c)
+			if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "AND") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, "GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g := p.next()
+			if g.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected group-by column, got %q", g.text)
+			}
+			st.GroupBy = append(st.GroupBy, g.text)
+			if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected trailing input %q at position %d", t.text, t.pos)
+	}
+	return st, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	colTok := p.next()
+	if colTok.kind != tokIdent {
+		return Cond{}, fmt.Errorf("sql: expected condition column, got %q", colTok.text)
+	}
+	c := Cond{Col: colTok.text}
+	opTok := p.next()
+	if opTok.kind == tokIdent && strings.EqualFold(opTok.text, "BETWEEN") {
+		c.Op = "between"
+		v1, err := p.parseValue()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Cond{}, err
+		}
+		v2, err := p.parseValue()
+		if err != nil {
+			return Cond{}, err
+		}
+		c.Val, c.Val2 = v1, v2
+		return c, nil
+	}
+	if opTok.kind != tokSymbol {
+		return Cond{}, fmt.Errorf("sql: expected operator, got %q", opTok.text)
+	}
+	switch opTok.text {
+	case "=", "<", "<=", ">", ">=":
+		c.Op = opTok.text
+	default:
+		return Cond{}, fmt.Errorf("sql: unsupported operator %q", opTok.text)
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return Cond{}, err
+	}
+	c.Val = v
+	return c, nil
+}
+
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("sql: bad number %q: %v", t.text, err)
+		}
+		return Value{Num: f}, nil
+	case tokString:
+		return Value{IsString: true, Str: t.text}, nil
+	default:
+		return Value{}, fmt.Errorf("sql: expected literal, got %q", t.text)
+	}
+}

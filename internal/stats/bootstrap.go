@@ -1,0 +1,50 @@
+package stats
+
+// Bootstrap draws resamples of xs (with replacement, each of the original
+// size), applies estimate to each, and returns the resample statistics. It
+// is the empirical-confidence-interval machinery of §4.1/§4.2.2 of the
+// paper, used when a closed-form interval is unavailable (e.g. VAR or
+// UDF-style aggregates).
+type Bootstrap struct {
+	// Resamples is the number of bootstrap replicates m (default 200).
+	Resamples int
+	// RNG drives resampling; a nil RNG uses a fixed seed so results are
+	// reproducible.
+	RNG *RNG
+}
+
+// defaultResamples matches common AQP practice; the analytical-bootstrap
+// literature the paper cites [72] shows little benefit beyond a few
+// hundred replicates for CI estimation.
+const defaultResamples = 200
+
+// Interval returns a percentile bootstrap confidence interval for the
+// statistic estimate computed on xs, at the given confidence level in
+// (0, 1). The returned pair is (low, high).
+func (b *Bootstrap) Interval(xs []float64, confidence float64, estimate func([]float64) float64) (float64, float64) {
+	stats := b.Replicates(xs, estimate)
+	alpha := (1 - confidence) / 2
+	return Quantile(stats, alpha), Quantile(stats, 1-alpha)
+}
+
+// Replicates returns the raw replicate statistics, one per resample.
+func (b *Bootstrap) Replicates(xs []float64, estimate func([]float64) float64) []float64 {
+	m := b.Resamples
+	if m <= 0 {
+		m = defaultResamples
+	}
+	r := b.RNG
+	if r == nil {
+		r = NewRNG(0x5eed)
+	}
+	n := len(xs)
+	out := make([]float64, m)
+	buf := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			buf[j] = xs[r.Intn(n)]
+		}
+		out[i] = estimate(buf)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	// The 95% bootstrap interval for the mean of a normal sample should
+	// contain the true mean most of the time.
+	r := NewRNG(2024)
+	covered := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = r.NormFloat64() + 5
+		}
+		b := &Bootstrap{Resamples: 200, RNG: r.Split()}
+		lo, hi := b.Interval(xs, 0.95, Mean)
+		if lo <= 5 && 5 <= hi {
+			covered++
+		}
+		if lo > hi {
+			t.Fatalf("inverted interval [%v, %v]", lo, hi)
+		}
+	}
+	if covered < trials*80/100 {
+		t.Errorf("bootstrap covered truth in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestBootstrapDegenerateSample(t *testing.T) {
+	xs := []float64{7, 7, 7, 7}
+	b := &Bootstrap{}
+	lo, hi := b.Interval(xs, 0.95, Mean)
+	if lo != 7 || hi != 7 {
+		t.Errorf("constant sample interval = [%v, %v], want [7, 7]", lo, hi)
+	}
+}
+
+func TestBootstrapReplicateCount(t *testing.T) {
+	b := &Bootstrap{Resamples: 37}
+	reps := b.Replicates([]float64{1, 2, 3}, Mean)
+	if len(reps) != 37 {
+		t.Errorf("got %d replicates, want 37", len(reps))
+	}
+	bDefault := &Bootstrap{}
+	reps = bDefault.Replicates([]float64{1, 2, 3}, Mean)
+	if len(reps) != defaultResamples {
+		t.Errorf("default replicate count = %d", len(reps))
+	}
+}
+
+func TestBootstrapDeterministicWithSeed(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	b1 := &Bootstrap{Resamples: 50, RNG: NewRNG(1)}
+	b2 := &Bootstrap{Resamples: 50, RNG: NewRNG(1)}
+	r1 := b1.Replicates(xs, Mean)
+	r2 := b2.Replicates(xs, Mean)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replicates diverged at %d", i)
+		}
+	}
+}

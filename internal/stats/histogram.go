@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Min, Max). Values
+// outside the range are clamped into the first/last bucket. It is used by
+// the dataset generators' self-checks and the experiment reports.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	total    int64
+}
+
+// NewHistogram creates a histogram with the given number of buckets
+// spanning [min, max). It panics if buckets <= 0 or max <= min.
+func NewHistogram(min, max float64, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("stats: NewHistogram needs at least one bucket")
+	}
+	if max <= min {
+		panic("stats: NewHistogram needs max > min")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Min) / (h.Max - h.Min))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the share of observations in bucket b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// String renders a compact ASCII bar chart, one line per bucket.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxC := int64(1)
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := int(math.Round(40 * float64(c) / float64(maxC)))
+		fmt.Fprintf(&sb, "[%10.2f, %10.2f) %8d %s\n",
+			h.Min+float64(i)*width, h.Min+float64(i+1)*width, c,
+			strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

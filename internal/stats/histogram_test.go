@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for b := 0; b < 10; b++ {
+		if h.Counts[b] != 1 {
+			t.Errorf("bucket %d count = %d, want 1", b, h.Counts[b])
+		}
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	h.Add(10) // right edge clamps into last bucket
+	if h.Counts[0] != 1 {
+		t.Errorf("low clamp: %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 {
+		t.Errorf("high clamp: %d", h.Counts[4])
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	if got := h.Fraction(0); got != 2.0/3 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("expected a bar in output: %q", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Errorf("expected 2 lines, got %q", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZScoreKnownValues(t *testing.T) {
+	// The paper's Example 1: λ = 1.96 for 95%, λ = 2.576 for 99%.
+	cases := []struct {
+		conf float64
+		want float64
+		tol  float64
+	}{
+		{0.95, 1.959964, 1e-4},
+		{0.99, 2.575829, 1e-4},
+		{0.90, 1.644854, 1e-4},
+		{0.50, 0.674490, 1e-4},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.conf); math.Abs(got-c.want) > c.tol {
+			t.Errorf("ZScore(%v) = %v, want %v", c.conf, got, c.want)
+		}
+	}
+}
+
+func TestZScorePanics(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ZScore(%v) did not panic", bad)
+				}
+			}()
+			ZScore(bad)
+		}()
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.013 {
+		x := NormalQuantile(p)
+		back := NormalCDF(x)
+		if math.Abs(back-p) > 1e-10 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for p := 0.01; p < 0.5; p += 0.017 {
+		if got := NormalQuantile(p) + NormalQuantile(1-p); math.Abs(got) > 1e-10 {
+			t.Errorf("quantile asymmetric at p=%v: %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileExtremes(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	if NormalQuantile(0.5) != 0 && math.Abs(NormalQuantile(0.5)) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want 0", NormalQuantile(0.5))
+	}
+}
+
+func TestNormalCDFKnown(t *testing.T) {
+	if got := NormalCDF(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := NormalCDF(1.959964); math.Abs(got-0.975) > 1e-6 {
+		t.Errorf("CDF(1.96) = %v, want 0.975", got)
+	}
+}

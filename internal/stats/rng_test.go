@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.Float64())
+	}
+	if got := m.Mean(); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", got)
+	}
+	if got := m.Variance(); math.Abs(got-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~1/12", got)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit %d/7 values in 10k draws", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormFloat64(t *testing.T) {
+	r := NewRNG(5)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if got := m.Mean(); math.Abs(got) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", got)
+	}
+	if got := m.Variance(); math.Abs(got-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", got)
+	}
+}
+
+func TestRNGExpFloat64(t *testing.T) {
+	r := NewRNG(5)
+	var m Moments
+	for i := 0; i < 200000; i++ {
+		m.Add(r.ExpFloat64())
+	}
+	if got := m.Mean(); math.Abs(got-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", got)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(123)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split children produced %d/100 identical draws", same)
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf generates Zipf-distributed values over {1, ..., n} with skew
+// parameter s >= 0 (s = 0 is uniform). The TPCD-Skew benchmark that the
+// paper uses generates its key columns with exactly this family (z = 2 in
+// the paper's experiments).
+//
+// Generation uses the inverse-CDF method over a precomputed cumulative
+// table, which is exact (unlike rejection samplers) and fast for the domain
+// sizes used here (binary search per draw).
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf builds a Zipf distribution over {1,...,n} with exponent s.
+// It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf called with n <= 0")
+	}
+	if s < 0 {
+		panic("stats: NewZipf called with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return z.n }
+
+// Draw returns a value in [1, n] with rank-frequency proportional to
+// rank^(-s).
+func (z *Zipf) Draw(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// PMF returns the probability of value v (1-based rank).
+func (z *Zipf) PMF(v int) float64 {
+	if v < 1 || v > z.n {
+		return 0
+	}
+	if v == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[v-1] - z.cdf[v-2]
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		z := NewZipf(100, s)
+		sum := 0.0
+		for v := 1; v <= 100; v++ {
+			sum += z.PMF(v)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: PMF sums to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for v := 1; v <= 10; v++ {
+		if math.Abs(z.PMF(v)-0.1) > 1e-12 {
+			t.Errorf("PMF(%d) = %v, want 0.1", v, z.PMF(v))
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	z := NewZipf(50, 2)
+	for v := 2; v <= 50; v++ {
+		if z.PMF(v) > z.PMF(v-1) {
+			t.Errorf("PMF not monotone at %d", v)
+		}
+	}
+	// With z=2 the head is very heavy: P(1) = 1/zeta(2,50) > 0.6.
+	if z.PMF(1) < 0.6 {
+		t.Errorf("PMF(1) = %v, expected heavy head", z.PMF(1))
+	}
+}
+
+func TestZipfDrawMatchesPMF(t *testing.T) {
+	z := NewZipf(20, 1)
+	r := NewRNG(99)
+	counts := make([]int, 21)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		v := z.Draw(r)
+		if v < 1 || v > 20 {
+			t.Fatalf("draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v := 1; v <= 20; v++ {
+		emp := float64(counts[v]) / trials
+		want := z.PMF(v)
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("value %d: empirical %v vs pmf %v", v, emp, want)
+		}
+	}
+}
+
+func TestZipfOutOfRangePMF(t *testing.T) {
+	z := NewZipf(5, 1)
+	if z.PMF(0) != 0 || z.PMF(6) != 0 || z.PMF(-1) != 0 {
+		t.Error("out-of-range PMF should be 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"testing"
+
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func testTable(n int, seed uint64) *engine.Table {
+	r := stats.NewRNG(seed)
+	c1 := make([]int64, n)
+	c2 := make([]int64, n)
+	a := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c1[i] = int64(r.Intn(1000) + 1)
+		c2[i] = int64(r.Intn(200) + 1)
+		a[i] = 100 + 10*r.NormFloat64()
+		if r.Float64() < 0.002 {
+			a[i] *= 20 // outliers
+		}
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("c1", c1),
+		engine.NewIntColumn("c2", c2),
+		engine.NewFloatColumn("a", a),
+	)
+}
+
+func TestGenerateSelectivityBand(t *testing.T) {
+	tbl := testTable(20000, 1)
+	qs, err := Generate(tbl, Config{
+		Template: cube.Template{Agg: "a", Dims: []string{"c1"}},
+		Count:    50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	inBand := 0
+	for _, q := range qs {
+		s, err := Selectivity(tbl, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= 0.004 && s <= 0.06 {
+			inBand++
+		}
+	}
+	if inBand < 45 {
+		t.Errorf("only %d/50 queries near the selectivity band", inBand)
+	}
+}
+
+func TestGenerate2DSelectivity(t *testing.T) {
+	tbl := testTable(20000, 2)
+	qs, err := Generate(tbl, Config{
+		Template: cube.Template{Agg: "a", Dims: []string{"c1", "c2"}},
+		Count:    30, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBand := 0
+	for _, q := range qs {
+		if len(q.Ranges) != 2 {
+			t.Fatalf("query has %d ranges", len(q.Ranges))
+		}
+		s, _ := Selectivity(tbl, q)
+		if s >= 0.003 && s <= 0.08 {
+			inBand++
+		}
+	}
+	if inBand < 24 {
+		t.Errorf("only %d/30 2D queries near the band", inBand)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tbl := testTable(5000, 3)
+	cfg := Config{Template: cube.Template{Agg: "a", Dims: []string{"c1"}}, Count: 5, Seed: 11}
+	a, _ := Generate(tbl, cfg)
+	b, _ := Generate(tbl, cfg)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestGenerateGroupByAndCount(t *testing.T) {
+	tbl := testTable(5000, 4)
+	qs, err := Generate(tbl, Config{
+		Template: cube.Template{Agg: "a", Dims: []string{"c1"}},
+		Count:    3, Seed: 13,
+		Func:    engine.Count,
+		GroupBy: []string{"c2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Func != engine.Count || q.Col != "" {
+			t.Errorf("COUNT query malformed: %v", q)
+		}
+		if len(q.GroupBy) != 1 {
+			t.Errorf("GROUP BY missing: %v", q)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tbl := testTable(100, 5)
+	if _, err := Generate(tbl, Config{Template: cube.Template{Agg: "a"}, Count: 1}); err == nil {
+		t.Error("no dims accepted")
+	}
+	if _, err := Generate(tbl, Config{Template: cube.Template{Agg: "a", Dims: []string{"c1"}}, Count: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Generate(tbl, Config{
+		Template: cube.Template{Agg: "a", Dims: []string{"c1"}}, Count: 1,
+		SelectivityLo: 0.5, SelectivityHi: 0.1,
+	}); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := Generate(tbl, Config{Template: cube.Template{Agg: "a", Dims: []string{"nope"}}, Count: 1}); err == nil {
+		t.Error("bad dim accepted")
+	}
+}
+
+func TestOutlierThresholdAndCover(t *testing.T) {
+	tbl := testTable(20000, 6)
+	thr, err := OutlierThreshold(tbl, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr < 100 {
+		t.Errorf("threshold = %v suspiciously low", thr)
+	}
+	// The full-domain query must cover some outlier.
+	full := engine.Query{Func: engine.Sum, Col: "a"}
+	ok, err := CoversOutlier(tbl, full, "a", thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("full query covers no outlier despite injected ones")
+	}
+}
+
+func TestFilterOutlierCovering(t *testing.T) {
+	tbl := testTable(20000, 7)
+	qs, _ := Generate(tbl, Config{
+		Template: cube.Template{Agg: "a", Dims: []string{"c1"}},
+		Count:    40, Seed: 15,
+	})
+	kept, err := FilterOutlierCovering(tbl, qs, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == 0 {
+		t.Error("no outlier-covering queries at 0.2% outlier rate and ~2% selectivity")
+	}
+	if len(kept) > len(qs) {
+		t.Error("filter grew the workload")
+	}
+	thr, _ := OutlierThreshold(tbl, "a")
+	for _, q := range kept {
+		ok, _ := CoversOutlier(tbl, q, "a", thr)
+		if !ok {
+			t.Fatal("kept query covers no outlier")
+		}
+	}
+}
