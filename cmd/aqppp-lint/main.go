@@ -1,0 +1,102 @@
+// Command aqppp-lint runs the repo's custom static analyzer (see
+// internal/lint) over the given package patterns and reports invariant
+// violations: nondeterminism in the numeric core, float equality,
+// dropped errors, library panics, goroutine loop-variable captures, and
+// lock copies.
+//
+// Usage:
+//
+//	aqppp-lint [-json] [-allowlist file] [patterns...]
+//
+// Patterns are directories, optionally ending in /... for a subtree;
+// the default is ./... from the current directory. Unless -allowlist is
+// given, a lint.allow file at the enclosing module root is loaded when
+// present. Exit status: 0 clean, 1 diagnostics reported, 2 usage or
+// load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aqppp/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	allowPath := flag.String("allowlist", "", "allowlist file (default: lint.allow at the module root, if present)")
+	flag.Parse()
+	os.Exit(run(*jsonOut, *allowPath, flag.Args()))
+}
+
+func run(jsonOut bool, allowPath string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqppp-lint:", err)
+		return 2
+	}
+	var allow *lint.Allowlist
+	if allowPath == "" {
+		allowPath = defaultAllowlist(cwd)
+	}
+	if allowPath != "" {
+		allow, err = lint.LoadAllowlist(allowPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqppp-lint:", err)
+			return 2
+		}
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqppp-lint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Rules(), allow)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "aqppp-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "aqppp-lint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}
+
+// defaultAllowlist returns the lint.allow path at the module root
+// enclosing dir, or "" when neither a module nor the file exists.
+func defaultAllowlist(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			p := filepath.Join(d, "lint.allow")
+			if _, err := os.Stat(p); err == nil {
+				return p
+			}
+			return ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

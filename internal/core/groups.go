@@ -45,12 +45,13 @@ func (p *Processor) AnswerGroupsFast(q engine.Query) ([]GroupAnswer, error) {
 		}
 		cols[i] = c
 	}
-	// Which cube dimensions are group-by columns?
-	groupDim := map[int]int{} // cube dim index -> group column index
+	// Which cube dimensions are group-by columns? A slice (not a map)
+	// keeps the pinning order deterministic.
+	var groupDims []dimBinding
 	for gi, g := range q.GroupBy {
 		for di, d := range p.Cube.Template.Dims {
 			if d == g {
-				groupDim[di] = gi
+				groupDims = append(groupDims, dimBinding{dim: di, col: gi})
 			}
 		}
 	}
@@ -77,8 +78,8 @@ func (p *Processor) AnswerGroupsFast(q engine.Query) ([]GroupAnswer, error) {
 		gq.Ranges = append(append([]engine.Range(nil), scalar.Ranges...), pinRanges(q.GroupBy, ords)...)
 
 		pre := sel.Pre
-		if !pre.IsPhi() && len(groupDim) > 0 {
-			pre = pinPreToGroup(p, pre, groupDim, ords)
+		if !pre.IsPhi() && len(groupDims) > 0 {
+			pre = pinPreToGroup(p, pre, groupDims, ords)
 		}
 		ans, err := p.answerWithPre(gq, pre, sel.Considered)
 		if err != nil {
@@ -89,15 +90,20 @@ func (p *Processor) AnswerGroupsFast(q engine.Query) ([]GroupAnswer, error) {
 	return out, nil
 }
 
+// dimBinding pins one cube dimension (by template index) to a group-by
+// column (by position in the GROUP BY list).
+type dimBinding struct{ dim, col int }
+
 // pinPreToGroup narrows the shared pre's group dimensions to the block
 // containing each group's ordinal.
-func pinPreToGroup(p *Processor, pre ident.Pre, groupDim map[int]int, ords []float64) ident.Pre {
+func pinPreToGroup(p *Processor, pre ident.Pre, groupDims []dimBinding, ords []float64) ident.Pre {
 	out := ident.Pre{
 		Lo: append([]int(nil), pre.Lo...),
 		Hi: append([]int(nil), pre.Hi...),
 	}
-	for di, gi := range groupDim {
-		ord := ords[gi]
+	for _, b := range groupDims {
+		di := b.dim
+		ord := ords[b.col]
 		// The block containing ord: (largest point < ord, smallest
 		// point >= ord], both from BracketLeft's two candidates.
 		lo, hi := p.Cube.BracketLeft(di, ord)

@@ -71,16 +71,15 @@ func (b *Buffered) Compact() {
 		}
 		delta[c.cellIndex(idx)] += b.logVals[li]
 	}
-	// Prefix-sum the delta grid along each axis, then merge.
-	tmp := c.Cells
-	c.Cells = delta
+	// Prefix-sum the delta grid along each axis, then merge. The delta is
+	// prefixed in place (never swapped into c.Cells) so the cube stays
+	// consistent at every point of the pass.
 	for axis := 0; axis < c.Dims(); axis++ {
-		c.prefixAxis(axis)
+		c.prefixAxisInto(delta, axis)
 	}
-	for i, v := range c.Cells {
-		tmp[i] += v
+	for i, v := range delta {
+		c.Cells[i] += v
 	}
-	c.Cells = tmp
 	b.logOrds = b.logOrds[:0]
 	b.logVals = b.logVals[:0]
 }

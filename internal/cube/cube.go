@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 
+	"aqppp/internal/stats"
+
 	"aqppp/internal/engine"
 )
 
@@ -195,17 +197,26 @@ func Build(tbl *engine.Table, tmpl Template, points [][]float64) (*BPCube, error
 
 // prefixAxis accumulates running sums along one axis of the dense array.
 func (c *BPCube) prefixAxis(axis int) {
+	c.prefixAxisInto(c.Cells, axis)
+}
+
+// prefixAxisInto runs the axis prefix pass over an arbitrary grid with
+// this cube's shape. Taking the slice as a parameter lets callers (e.g.
+// Buffered.Compact) prefix a scratch grid without temporarily swapping
+// it into c.Cells, which would expose a half-built cube to concurrent
+// readers and corrupt the cube if the pass ever panicked midway.
+func (c *BPCube) prefixAxisInto(cells []float64, axis int) {
 	k := len(c.Points[axis])
 	stride := c.strides[axis]
 	// Iterate all "lines" along the axis: the flat array decomposes into
 	// outer-block × axis × inner-stride.
-	outer := len(c.Cells) / (k * stride)
+	outer := len(cells) / (k * stride)
 	for o := 0; o < outer; o++ {
 		base := o * k * stride
 		for inner := 0; inner < stride; inner++ {
 			off := base + inner
 			for j := 1; j < k; j++ {
-				c.Cells[off+j*stride] += c.Cells[off+(j-1)*stride]
+				cells[off+j*stride] += cells[off+(j-1)*stride]
 			}
 		}
 	}
@@ -267,7 +278,7 @@ func (c *BPCube) RangeSum(lo, hi []int) float64 {
 func (c *BPCube) PointIndex(dim int, ord float64) (int, bool) {
 	p := c.Points[dim]
 	j := sort.SearchFloat64s(p, ord)
-	if j < len(p) && p[j] == ord {
+	if j < len(p) && stats.ExactEqual(p[j], ord) {
 		return j, true
 	}
 	return -1, false

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"aqppp/internal/engine"
+	"aqppp/internal/stats"
 )
 
 // BuildFull constructs the complete P-Cube (Definition 2): the partition
@@ -39,7 +40,7 @@ func distinctOrdinals(col *engine.Column) []float64 {
 	sort.Float64s(vals)
 	out := vals[:0]
 	for i, v := range vals {
-		if i == 0 || v != out[len(out)-1] {
+		if i == 0 || !stats.ExactEqual(v, out[len(out)-1]) {
 			out = append(out, v)
 		}
 	}

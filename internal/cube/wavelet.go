@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"aqppp/internal/engine"
+	"aqppp/internal/stats"
 )
 
 // WaveletCube is an approximate data cube compressed with an orthonormal
@@ -29,9 +30,12 @@ type WaveletCube struct {
 	Points [][]float64
 	// size[i] is the padded (power-of-two) length of axis i.
 	size []int
-	// coeffs holds the retained coefficients keyed by their flat padded
-	// index.
-	coeffs map[int]float64
+	// coeffPos/coeffVal hold the retained coefficients as parallel
+	// slices sorted by flat padded index: iteration order (and therefore
+	// the float summation order in PrefixSum) is deterministic, and the
+	// hot loop scans contiguously instead of hashing.
+	coeffPos []int
+	coeffVal []float64
 	// strides over the padded grid.
 	strides []int
 	// SourceRows is the row count the cube was built over.
@@ -101,13 +105,22 @@ func BuildWavelet(tbl *engine.Table, tmpl Template, points [][]float64, keepCoef
 			all = append(all, kv{pos, math.Abs(c)})
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].abs > all[j].abs })
+	sort.Slice(all, func(i, j int) bool {
+		if !stats.ExactEqual(all[i].abs, all[j].abs) {
+			return all[i].abs > all[j].abs
+		}
+		return all[i].pos < all[j].pos // break magnitude ties stably
+	})
 	if keepCoeffs > len(all) {
 		keepCoeffs = len(all)
 	}
-	w.coeffs = make(map[int]float64, keepCoeffs)
-	for _, e := range all[:keepCoeffs] {
-		w.coeffs[e.pos] = buckets[e.pos]
+	kept := all[:keepCoeffs]
+	sort.Slice(kept, func(i, j int) bool { return kept[i].pos < kept[j].pos })
+	w.coeffPos = make([]int, len(kept))
+	w.coeffVal = make([]float64, len(kept))
+	for i, e := range kept {
+		w.coeffPos[i] = e.pos
+		w.coeffVal[i] = buckets[e.pos]
 	}
 	return w, nil
 }
@@ -177,12 +190,12 @@ func (w *WaveletCube) transformAxis(data []float64, axis int) {
 }
 
 // KeptCoeffs returns the number of retained coefficients.
-func (w *WaveletCube) KeptCoeffs() int { return len(w.coeffs) }
+func (w *WaveletCube) KeptCoeffs() int { return len(w.coeffPos) }
 
 // SizeBytes reports the synopsis footprint: one (index, value) pair per
 // kept coefficient plus the partition points.
 func (w *WaveletCube) SizeBytes() int64 {
-	total := int64(len(w.coeffs)) * 16
+	total := int64(len(w.coeffPos)) * 16
 	for _, p := range w.Points {
 		total += int64(len(p)) * 8
 	}
@@ -198,8 +211,8 @@ func (w *WaveletCube) PrefixSum(idx []int) float64 {
 		}
 	}
 	total := 0.0
-	for pos, c := range w.coeffs {
-		contrib := c
+	for i, pos := range w.coeffPos {
+		contrib := w.coeffVal[i]
 		rem := pos
 		for axis := 0; axis < len(w.size); axis++ {
 			p := rem / w.strides[axis]

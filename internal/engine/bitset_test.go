@@ -75,6 +75,59 @@ func TestBitsetForEachOrdered(t *testing.T) {
 	}
 }
 
+// TestBitsetWordBoundaryLengths exercises the word-boundary sizes where
+// the tail word is empty (n=0), one short of full (63), exactly full
+// (64), and one bit into a new word (65).
+func TestBitsetWordBoundaryLengths(t *testing.T) {
+	for _, n := range []int{0, 63, 64, 65} {
+		b := NewBitset(n)
+		if b.Len() != n {
+			t.Errorf("n=%d: Len = %d", n, b.Len())
+		}
+		if got := b.Count(); got != 0 {
+			t.Errorf("n=%d: fresh Count = %d", n, got)
+		}
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Errorf("n=%d: Count after SetAll = %d", n, got)
+		}
+		// trim must have zeroed everything beyond n: And/Or with a full
+		// bitset of the same size cannot change the count.
+		full := NewBitset(n)
+		full.SetAll()
+		b.Or(full)
+		if got := b.Count(); got != n {
+			t.Errorf("n=%d: Count after Or full = %d", n, got)
+		}
+		if n == 0 {
+			b.ForEach(func(i int) { t.Errorf("n=0: ForEach visited %d", i) })
+			continue
+		}
+		// Clear the last valid bit and the first; count tracks exactly.
+		b.Clear(n - 1)
+		b.Clear(0)
+		want := n - 2
+		if n == 1 {
+			want = 0
+		}
+		if got := b.Count(); got != want {
+			t.Errorf("n=%d: Count after clearing ends = %d, want %d", n, got, want)
+		}
+		b.Set(n - 1)
+		if !b.Get(n - 1) {
+			t.Errorf("n=%d: last bit lost", n)
+		}
+		c := b.Clone()
+		if c.Count() != b.Count() || c.Len() != b.Len() {
+			t.Errorf("n=%d: clone diverges", n)
+		}
+		c.Clear(n - 1) // clone must be independent
+		if !b.Get(n - 1) {
+			t.Errorf("n=%d: clearing clone mutated original", n)
+		}
+	}
+}
+
 func TestBitsetLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -129,6 +129,15 @@ func (c *Column) ranks() []int32 {
 	return c.rankOf
 }
 
+// warmOrdinals forces the lazy rank cache so that subsequent Ordinal
+// calls are read-only. Callers that share a column across goroutines
+// must warm it before fanning out.
+func (c *Column) warmOrdinals() {
+	if c.Type == String {
+		c.ranks()
+	}
+}
+
 // Ordinal returns the row's value mapped onto a totally ordered numeric
 // axis: the value itself for numeric columns, and the lexicographic rank
 // (0-based) for string columns. Every condition attribute in the AQP++

@@ -41,6 +41,14 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		}
 		rangeCols[i] = c
 	}
+	// Ordinal lazily rebuilds the string rank cache; warm it here so the
+	// goroutines below only ever read it (rebuilding inside them races).
+	for _, c := range rangeCols {
+		c.warmOrdinals()
+	}
+	if col != nil {
+		col.warmOrdinals()
+	}
 	states := make([]aggState, workers)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -56,7 +64,10 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			st := &states[w]
+			// Accumulate into a stack-local state and publish once at the
+			// end: adjacent states[w] entries share cache lines, and
+			// writing them per-row from different cores is false sharing.
+			var st aggState
 			for row := lo; row < hi; row++ {
 				in := true
 				for i, r := range q.Ranges {
@@ -75,6 +86,7 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 					st.add(0)
 				}
 			}
+			states[w] = st
 		}(w, lo, hi)
 	}
 	wg.Wait()

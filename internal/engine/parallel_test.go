@@ -65,6 +65,55 @@ func TestExecuteParallelGroupByFallsBack(t *testing.T) {
 	}
 }
 
+// TestExecuteParallelStress hammers ExecuteParallel with fresh tables
+// (so the string rank cache starts cold every iteration, exercising the
+// warm-before-fan-out path) across varying worker counts. Run under
+// `go test -race -count=N` to shake out scheduling-dependent races; the
+// results are also checked against the serial path each time.
+func TestExecuteParallelStress(t *testing.T) {
+	const n = 8192
+	r := stats.NewRNG(97)
+	regions := []string{"east", "west", "north", "south", "center"}
+	for iter := 0; iter < 2; iter++ {
+		k := make([]int64, n)
+		v := make([]float64, n)
+		s := make([]string, n)
+		for i := 0; i < n; i++ {
+			k[i] = int64(r.Intn(1000))
+			v[i] = r.NormFloat64() * 10
+			s[i] = regions[r.Intn(len(regions))]
+		}
+		q := Query{Func: Sum, Col: "v", Ranges: []Range{
+			{Col: "k", Lo: 100, Hi: 900},
+			{Col: "region", Lo: 1, Hi: 3}, // string ranges go through Ordinal
+		}}
+		for _, workers := range []int{2, 3, 5, 8, 16} {
+			// A fresh table per run, queried in parallel FIRST: the string
+			// rank cache is still cold when the workers fan out, so every
+			// run exercises the pre-fan-out warming. (A serial query first
+			// would warm the cache and mask a missing warm-up.)
+			tbl := MustNewTable("stress",
+				NewIntColumn("k", k),
+				NewFloatColumn("v", v),
+				NewStringColumn("region", s),
+			)
+			par, err := tbl.ExecuteParallel(q, workers)
+			if err != nil {
+				t.Fatalf("iter=%d workers=%d: %v", iter, workers, err)
+			}
+			serial, err := tbl.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 1e-9 * math.Max(math.Abs(serial.Value), 1)
+			if math.Abs(par.Value-serial.Value) > tol {
+				t.Errorf("iter=%d workers=%d: parallel %v != serial %v",
+					iter, workers, par.Value, serial.Value)
+			}
+		}
+	}
+}
+
 func TestExecuteParallelErrors(t *testing.T) {
 	tbl := parallelFixture(10000)
 	if _, err := tbl.ExecuteParallel(Query{Func: Sum, Col: "nope"}, 4); err == nil {

@@ -65,6 +65,87 @@ func TestZoneMapEdgeBlocks(t *testing.T) {
 	}
 }
 
+// TestZoneMapBlockSummaries checks the per-block min/max directly,
+// including the partial tail block.
+func TestZoneMapBlockSummaries(t *testing.T) {
+	n := 2*zoneBlockSize + 7 // two full blocks + a 7-row tail
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	c := NewIntColumn("c", vals)
+	z := c.zonesFor()
+	if len(z.mins) != 3 || len(z.maxs) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(z.mins))
+	}
+	wantBounds := [][2]float64{
+		{0, float64(zoneBlockSize - 1)},
+		{float64(zoneBlockSize), float64(2*zoneBlockSize - 1)},
+		{float64(2 * zoneBlockSize), float64(n - 1)}, // 7-row tail
+	}
+	for b, w := range wantBounds {
+		if z.mins[b] != w[0] || z.maxs[b] != w[1] {
+			t.Errorf("block %d: [%v, %v], want [%v, %v]", b, z.mins[b], z.maxs[b], w[0], w[1])
+		}
+	}
+}
+
+// TestZoneMapPruningBoundaries probes ranges that touch block summaries
+// exactly: a range ending at a block's min or starting at its max must
+// keep the block (bounds are inclusive), while one ordinal beyond must
+// prune it.
+func TestZoneMapPruningBoundaries(t *testing.T) {
+	n := 3 * zoneBlockSize
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	c := NewIntColumn("c", vals)
+	cases := []struct {
+		name   string
+		lo, hi float64
+		want   int
+	}{
+		{"exactly block 1", float64(zoneBlockSize), float64(2*zoneBlockSize - 1), zoneBlockSize},
+		{"hi == block 1 min", 0, float64(zoneBlockSize), zoneBlockSize + 1},
+		{"lo == block 0 max", float64(zoneBlockSize - 1), float64(zoneBlockSize - 1), 1},
+		{"between ordinals", float64(zoneBlockSize) - 0.5, float64(zoneBlockSize) - 0.5, 0},
+		{"below all data", -100, -1, 0},
+		{"above all data", float64(n), float64(n + 100), 0},
+		{"everything", 0, float64(n - 1), n},
+	}
+	for _, tc := range cases {
+		out := NewBitset(n)
+		applyRangeZoned(c, Range{Col: "c", Lo: tc.lo, Hi: tc.hi}, out)
+		if got := out.Count(); got != tc.want {
+			t.Errorf("%s: %d rows, want %d", tc.name, got, tc.want)
+		}
+		// The zoned result must agree with the plain scan bit for bit.
+		plain := NewBitset(n)
+		applyRange(c, Range{Col: "c", Lo: tc.lo, Hi: tc.hi}, plain)
+		for i := 0; i < n; i++ {
+			if out.Get(i) != plain.Get(i) {
+				t.Fatalf("%s: row %d zoned %v plain %v", tc.name, i, out.Get(i), plain.Get(i))
+			}
+		}
+	}
+}
+
+// TestZoneMapEmptyColumn: a zero-row column must filter to an empty
+// selection without building zones or panicking.
+func TestZoneMapEmptyColumn(t *testing.T) {
+	c := NewIntColumn("c", nil)
+	out := NewBitset(0)
+	applyRangeZoned(c, Range{Col: "c", Lo: 0, Hi: 100}, out)
+	if out.Count() != 0 {
+		t.Errorf("empty column selected %d rows", out.Count())
+	}
+	z := c.zonesFor()
+	if len(z.mins) != 0 || z.rows != 0 {
+		t.Errorf("empty column zone map: %d blocks, rows=%d", len(z.mins), z.rows)
+	}
+}
+
 func TestZoneMapInvalidatedByAppend(t *testing.T) {
 	n := 3 * zoneBlockSize
 	tbl := zonedTable(n, 4)

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// Allowlist suppresses known, reviewed findings. The file format is one
+// entry per line:
+//
+//	<rule> <file-pattern> [message-substring]
+//
+// where <rule> is a rule name or "*", <file-pattern> is a module-relative
+// path (path.Match globs allowed, e.g. internal/engine/*.go), and the
+// optional remainder of the line must appear inside the diagnostic's
+// message for the entry to apply. Blank lines and lines starting with
+// '#' are comments — every entry is expected to carry one explaining why
+// the finding is acceptable.
+type Allowlist struct {
+	entries []allowEntry
+}
+
+type allowEntry struct {
+	rule    string
+	pattern string
+	substr  string
+}
+
+// ParseAllowlist parses allowlist text.
+func ParseAllowlist(data []byte) (*Allowlist, error) {
+	a := &Allowlist{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("allowlist line %d: need \"<rule> <file-pattern> [substring]\", got %q", i+1, line)
+		}
+		e := allowEntry{rule: fields[0], pattern: fields[1]}
+		if len(fields) > 2 {
+			e.substr = strings.Join(fields[2:], " ")
+		}
+		if _, err := path.Match(e.pattern, ""); err != nil {
+			return nil, fmt.Errorf("allowlist line %d: bad pattern %q: %v", i+1, e.pattern, err)
+		}
+		a.entries = append(a.entries, e)
+	}
+	return a, nil
+}
+
+// LoadAllowlist reads and parses the allowlist at file.
+func LoadAllowlist(file string) (*Allowlist, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	a, err := ParseAllowlist(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	return a, nil
+}
+
+// Allows reports whether d matches an allowlist entry.
+func (a *Allowlist) Allows(d Diagnostic) bool {
+	for _, e := range a.entries {
+		if e.rule != "*" && e.rule != d.Rule {
+			continue
+		}
+		if ok, _ := path.Match(e.pattern, d.File); !ok && e.pattern != d.File {
+			continue
+		}
+		if e.substr != "" && !strings.Contains(d.Message, e.substr) {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// NumericPackages lists the package-path suffixes forming the numeric
+// core of the system: everything whose outputs feed the confidence
+// intervals of Equations 3-5. Inside them, all randomness must flow
+// through the seeded PCG RNG in internal/stats/rng.go and no result may
+// depend on wall-clock time or map iteration order — otherwise the
+// error bounds stop being reproducible run-to-run.
+var NumericPackages = []string{
+	"internal/stats",
+	"internal/aqp",
+	"internal/core",
+	"internal/cube",
+	"internal/sample",
+	"internal/precompute",
+	"internal/linalg",
+}
+
+// isNumericPackage reports whether path belongs to the numeric core.
+func isNumericPackage(path string) bool {
+	for _, s := range NumericPackages {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminismRule flags the three nondeterminism vectors in numeric
+// packages: math/rand imports (its stream is not ours to seed and
+// version), time.Now/time.Since calls, and ranging over a map (the
+// runtime randomizes iteration order).
+type DeterminismRule struct{}
+
+// Name implements Rule.
+func (DeterminismRule) Name() string { return "determinism" }
+
+// Check implements Rule.
+func (DeterminismRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	if !isNumericPackage(pkg.Path) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				report(imp.Pos(), fmt.Sprintf("numeric package imports %s; use the seeded stats.RNG instead", p))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := timeFuncCall(pkg.Info, n); ok {
+					report(n.Pos(), fmt.Sprintf("numeric package calls time.%s; results must not depend on wall-clock time", name))
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(n.Pos(), "numeric package ranges over a map; iteration order is nondeterministic — iterate sorted keys instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// timeFuncCall reports whether call is time.Now or time.Since (the two
+// wall-clock reads; Since calls Now internally).
+func timeFuncCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Now" && sel.Sel.Name != "Since" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "time" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DroppedErrorRule flags statements that call a function returning an
+// error and silently drop it: plain call statements, defers, and go
+// statements. A dropped error in the engine or cube I/O paths turns a
+// failed read into a silently wrong aggregate — worse than a crash in a
+// system whose whole contract is bounded error. Handle it, return it,
+// or (when the discard is genuinely intended) assign it to _ so the
+// intent is visible at the call site.
+//
+// Commands (package main) are exempt: top-level CLIs report through
+// their own exit paths and the extra ceremony buys nothing. Also exempt
+// are writes that are documented to never fail — the Write* methods of
+// strings.Builder and bytes.Buffer, and fmt.Fprint* targeting one of
+// them — because "handling" an impossible error only buries the calls
+// that can actually fail.
+type DroppedErrorRule struct{}
+
+// Name implements Rule.
+func (DroppedErrorRule) Name() string { return "dropped-error" }
+
+// Check implements Rule.
+func (DroppedErrorRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	if pkg.IsCommand() {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := "call"
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+				kind = "deferred call"
+			case *ast.GoStmt:
+				call = n.Call
+				kind = "go'd call"
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call) {
+				return true
+			}
+			report(call.Pos(), kind+" drops its error result; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's (last) result is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.IsType() {
+		return false // conversion, not a call
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+// neverFails reports whether call's error result is documented to
+// always be nil: Write* on strings.Builder/bytes.Buffer, or fmt.Fprint*
+// into one of those.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if tv, ok := info.Types[call.Args[0]]; ok && isMemWriter(tv.Type) {
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.HasPrefix(fn.Name(), "Write") && isMemWriter(sig.Recv().Type())
+	}
+	return false
+}
+
+// isMemWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func isMemWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// PanicRule flags panic(...) in library packages. Panics are reserved
+// for programmer-error invariants (documented in the allowlist, one
+// entry per file, so every new site is a conscious decision); anything
+// reachable from user input or data files must return an error instead,
+// because a panic inside a query path takes the whole serving process
+// down with it.
+type PanicRule struct{}
+
+// Name implements Rule.
+func (PanicRule) Name() string { return "panic" }
+
+// Check implements Rule.
+func (PanicRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	if pkg.IsCommand() {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+				return true // shadowed
+			}
+			report(call.Pos(), "panic in library package; return an error unless this is a documented invariant (then allowlist it)")
+			return true
+		})
+	}
+}

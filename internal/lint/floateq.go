@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqRule flags == and != between floating-point expressions.
+// Exact float equality is almost always a latent bug in an estimator
+// codebase: two mathematically equal quantities computed along different
+// reassociation paths differ in the last ulp, and a comparison that
+// "works" on today's inputs silently flips on tomorrow's. Compare
+// against an epsilon (see the tolerance helpers in the packages this
+// rule forced into existence) or restructure to avoid the comparison.
+//
+// Three idioms are exempt because exact comparison is the point:
+// x != x (the NaN test), comparisons where both operands are
+// compile-time constants (evaluated exactly, once), and comparisons
+// against the constant 0 — zero is exactly representable and ==0 guards
+// (division guards, unset-config sentinels) ask precisely "is this the
+// exact zero value", which a tolerance would get wrong.
+type FloatEqRule struct{}
+
+// Name implements Rule.
+func (FloatEqRule) Name() string { return "float-eq" }
+
+// Check implements Rule.
+func (FloatEqRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt, lok := pkg.Info.Types[be.X]
+			rt, rok := pkg.Info.Types[be.Y]
+			if !lok || !rok || (!isFloat(lt.Type) && !isFloat(rt.Type)) {
+				return true
+			}
+			if lt.Value != nil && rt.Value != nil {
+				return true // constant-folded, exact
+			}
+			if isZeroConst(lt.Value) || isZeroConst(rt.Value) {
+				return true // exact-zero guard or sentinel
+			}
+			if sameExpr(be.X, be.Y) {
+				return true // x != x is the NaN test
+			}
+			report(be.OpPos, "floating-point "+be.Op.String()+" comparison; use a tolerance or restructure")
+			return true
+		})
+	}
+}
+
+// isZeroConst reports whether v is a numeric constant equal to zero.
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}
+
+// isFloat reports whether t's underlying type is a float kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports whether two expressions are the same simple
+// ident/selector chain (enough to recognize x != x and a.b != a.b).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCaptureRule flags go-statement closures that reference a
+// variable declared by an enclosing for or range statement instead of
+// receiving it as an argument. Under the pre-1.22 loop semantics every
+// such closure shares one variable — the classic fan-out bug where all
+// workers see the final index — and even under per-iteration semantics
+// the explicit-argument form (as in engine.ExecuteParallel) keeps the
+// data flow visible and the analyzer's guarantee toolchain-independent.
+type GoroutineCaptureRule struct{}
+
+// Name implements Rule.
+func (GoroutineCaptureRule) Name() string { return "goroutine-capture" }
+
+// Check implements Rule.
+func (GoroutineCaptureRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		ast.Walk(&captureVisitor{pkg: pkg, report: report, active: nil}, f)
+	}
+}
+
+// captureVisitor walks with the set of loop variables currently in
+// scope. Entering a loop returns a child visitor with the loop's
+// variables added, so object identity does the scoping for us.
+type captureVisitor struct {
+	pkg    *Package
+	report func(pos token.Pos, msg string)
+	active map[types.Object]bool
+}
+
+// Visit implements ast.Visitor.
+func (v *captureVisitor) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if n.Tok == token.DEFINE {
+			return v.extended(loopVarObjects(v.pkg.Info, n.Key, n.Value))
+		}
+	case *ast.ForStmt:
+		if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			return v.extended(loopVarObjects(v.pkg.Info, init.Lhs...))
+		}
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && len(v.active) > 0 {
+			v.scanClosure(lit)
+		}
+	}
+	return v
+}
+
+// extended returns a child visitor whose active set includes objs.
+func (v *captureVisitor) extended(objs []types.Object) *captureVisitor {
+	if len(objs) == 0 {
+		return v
+	}
+	child := &captureVisitor{pkg: v.pkg, report: v.report, active: make(map[types.Object]bool, len(v.active)+len(objs))}
+	for o := range v.active {
+		child.active[o] = true
+	}
+	for _, o := range objs {
+		child.active[o] = true
+	}
+	return child
+}
+
+// scanClosure reports the first capture of each active loop variable
+// inside lit's body (arguments to the go call are evaluated at spawn
+// time and are safe, so only the body is scanned).
+func (v *captureVisitor) scanClosure(lit *ast.FuncLit) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := v.pkg.Info.Uses[id]
+		if obj == nil || !v.active[obj] || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		v.report(id.Pos(), "goroutine closure captures loop variable "+id.Name+"; pass it as an argument instead")
+		return true
+	})
+}
+
+// loopVarObjects resolves the defined objects of loop variable exprs.
+func loopVarObjects(info *types.Info, exprs ...ast.Expr) []types.Object {
+	var out []types.Object
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic: a rule name at a file:line.
+type want struct {
+	file string
+	line int
+	rule string
+}
+
+// parseWants scans every .go file under dir (recursively) for trailing
+// "// want rule1 rule2" comments and returns the expectations keyed the
+// way diagnostics report them (module-relative file paths).
+func parseWants(t *testing.T, modDir string) map[want]int {
+	t.Helper()
+	wants := make(map[want]int)
+	err := filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(modDir, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(after) {
+				wants[want{file: rel, line: line, rule: rule}]++
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestRulesOnTestdata loads every seeded-violation package and checks
+// the diagnostics match the want comments exactly: nothing missing,
+// nothing extra.
+func TestRulesOnTestdata(t *testing.T) {
+	modDir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load("testdata", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 6 {
+		t.Fatalf("loaded %d testdata packages, want >= 6", len(pkgs))
+	}
+	diags := Run(pkgs, Rules(), nil)
+	wants := parseWants(t, modDir)
+	if len(wants) == 0 {
+		t.Fatal("no want comments found in testdata")
+	}
+	rulesSeen := make(map[string]bool)
+	for _, d := range diags {
+		w := want{file: d.File, line: d.Line, rule: d.Rule}
+		if wants[w] == 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[w]--
+		rulesSeen[d.Rule] = true
+	}
+	for w, n := range wants {
+		if n > 0 {
+			t.Errorf("missing diagnostic (x%d): %s:%d [%s]", n, w.file, w.line, w.rule)
+		}
+	}
+	for _, r := range Rules() {
+		if !rulesSeen[r.Name()] {
+			t.Errorf("rule %s produced no diagnostic on testdata", r.Name())
+		}
+	}
+}
+
+// TestAllowlistFiltering checks entry matching: rule, glob, substring,
+// and wildcard forms.
+func TestAllowlistFiltering(t *testing.T) {
+	a, err := ParseAllowlist([]byte(`
+# comment
+panic internal/engine/bitset.go
+float-eq internal/cube/*.go
+determinism internal/core/build.go time.Now
+* internal/experiments/table1.go
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		d     Diagnostic
+		allow bool
+	}{
+		{Diagnostic{Rule: "panic", File: "internal/engine/bitset.go"}, true},
+		{Diagnostic{Rule: "panic", File: "internal/engine/table.go"}, false},
+		{Diagnostic{Rule: "float-eq", File: "internal/cube/exact.go"}, true},
+		{Diagnostic{Rule: "float-eq", File: "internal/cube/sub/exact.go"}, false},
+		{Diagnostic{Rule: "determinism", File: "internal/core/build.go", Message: "calls time.Now"}, true},
+		{Diagnostic{Rule: "determinism", File: "internal/core/build.go", Message: "ranges over a map"}, false},
+		{Diagnostic{Rule: "mutex-copy", File: "internal/experiments/table1.go"}, true},
+	}
+	for _, c := range cases {
+		if got := a.Allows(c.d); got != c.allow {
+			t.Errorf("Allows(%+v) = %v, want %v", c.d, got, c.allow)
+		}
+	}
+}
+
+func TestParseAllowlistErrors(t *testing.T) {
+	if _, err := ParseAllowlist([]byte("panic")); err == nil {
+		t.Error("one-field line accepted")
+	}
+	if _, err := ParseAllowlist([]byte("panic [bad")); err == nil {
+		t.Error("malformed glob accepted")
+	}
+}
+
+// TestRepoIsLintClean runs the full default rule set over the real
+// repository under its checked-in allowlist — the same gate
+// scripts/check.sh enforces — so a rule regression or a new violation
+// fails here first.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow, err := LoadAllowlist(filepath.Join(root, "lint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, Rules(), allow) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}
+
+func ExampleDiagnostic_String() {
+	fmt.Println(Diagnostic{Rule: "panic", File: "internal/engine/table.go", Line: 32, Col: 3, Message: "panic in library package"})
+	// Output: internal/engine/table.go:32:3: [panic] panic in library package
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexCopyRule flags by-value copies of types that contain a sync lock
+// (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once) — as a value
+// receiver or parameter, as an assignment reading an existing value, or
+// as a range value variable. A copied lock is a fork: both copies
+// "work", each guarding nothing, which is exactly how the engine's
+// parallel paths would pass the race detector today and deadlock or
+// corrupt under production load tomorrow.
+type MutexCopyRule struct{}
+
+// Name implements Rule.
+func (MutexCopyRule) Name() string { return "mutex-copy" }
+
+// Check implements Rule.
+func (MutexCopyRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldList(pkg, n.Recv, "receiver", report)
+				}
+				if n.Type.Params != nil {
+					checkFieldList(pkg, n.Type.Params, "parameter", report)
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(pkg, n.Type.Params, "parameter", report)
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkValueCopy(pkg, rhs, report)
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range n.Values {
+					checkValueCopy(pkg, rhs, report)
+				}
+			case *ast.RangeStmt:
+				if n.Tok == token.DEFINE && n.Value != nil {
+					if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							if lock := lockInside(obj.Type()); lock != "" {
+								report(id.Pos(), "range value copies "+typeLabel(obj.Type(), lock)+"; iterate by index instead")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList reports non-pointer receiver/parameter types containing
+// locks.
+func checkFieldList(pkg *Package, fl *ast.FieldList, what string, report func(pos token.Pos, msg string)) {
+	for _, field := range fl.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := lockInside(tv.Type); lock != "" {
+			report(field.Type.Pos(), "value "+what+" copies "+typeLabel(tv.Type, lock)+"; use a pointer")
+		}
+	}
+}
+
+// checkValueCopy reports assignments whose right-hand side reads (and
+// therefore copies) an existing lock-containing value. Composite
+// literals and function calls are initial constructions, not copies,
+// so only ident/selector/index/dereference reads are flagged.
+func checkValueCopy(pkg *Package, rhs ast.Expr, report func(pos token.Pos, msg string)) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	tv, ok := pkg.Info.Types[rhs]
+	if !ok || tv.IsType() {
+		return
+	}
+	if lock := lockInside(tv.Type); lock != "" {
+		report(rhs.Pos(), "assignment copies "+typeLabel(tv.Type, lock)+"; use a pointer")
+	}
+}
+
+// syncLockTypes are the sync types whose by-value copy is always a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+}
+
+// lockInside returns the name of the sync lock type contained (possibly
+// transitively, through struct fields and array elements) in t, or ""
+// if t is copy-safe.
+func lockInside(t types.Type) string {
+	return lockInsideSeen(t, make(map[types.Type]bool))
+}
+
+func lockInsideSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockInsideSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInsideSeen(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInsideSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// typeLabel describes t and the lock it carries for a diagnostic.
+func typeLabel(t types.Type, lock string) string {
+	s := types.TypeString(t, nil)
+	if s == lock {
+		return s
+	}
+	return s + " (contains " + lock + ")"
+}

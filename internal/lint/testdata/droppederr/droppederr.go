@@ -1,0 +1,53 @@
+// Package droppederr is seeded testdata for the dropped-error rule.
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MayFail returns an error.
+func MayFail() error { return errors.New("boom") }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, errors.New("boom") }
+
+// DropAll discards errors every way the rule covers.
+func DropAll() {
+	MayFail()       // want dropped-error
+	defer MayFail() // want dropped-error
+	go MayFail()    // want dropped-error
+}
+
+// Handled shows the accepted forms: handled, returned, or explicitly
+// discarded with _.
+func Handled() error {
+	if err := MayFail(); err != nil {
+		return err
+	}
+	_ = MayFail()
+	_, _ = Pair()
+	return MayFail()
+}
+
+// NoError calls a function with no error result; not flagged.
+func NoError() {
+	clean()
+}
+
+func clean() {}
+
+// InMemory writes to strings.Builder and bytes.Buffer, whose errors are
+// documented to always be nil; exempt.
+func InMemory() string {
+	var sb strings.Builder
+	var buf bytes.Buffer
+	sb.WriteString("a")
+	sb.WriteByte('b')
+	buf.WriteRune('c')
+	fmt.Fprintf(&sb, "%d", 1)
+	fmt.Fprintln(&buf, "x")
+	return sb.String() + buf.String()
+}

@@ -1,0 +1,49 @@
+// Package floateq is seeded testdata for the float-eq rule.
+package floateq
+
+// Converged compares floats exactly — the bug the rule exists for.
+func Converged(prev, cur float64) bool {
+	return prev == cur // want float-eq
+}
+
+// Changed is the != spelling of the same bug.
+func Changed(prev, cur float64) bool {
+	return prev != cur // want float-eq
+}
+
+// MixedWidth flags float32 operands too.
+func MixedWidth(a float32, b float32) bool {
+	return a == b // want float-eq
+}
+
+// IsNaN uses the self-comparison idiom, which is exempt.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// constCompare compares two compile-time constants, which is exact and
+// exempt.
+func ConstCompare() bool {
+	const a = 0.1
+	return a == 0.1
+}
+
+// IntEq compares integers and must not be flagged.
+func IntEq(a, b int) bool {
+	return a == b
+}
+
+// ZeroGuard compares against the exact constant zero (division guard /
+// unset sentinel), which is exempt.
+func ZeroGuard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// NonZeroConst compares against a non-zero constant, which is flagged:
+// the computed operand almost never lands on the constant exactly.
+func NonZeroConst(x float64) bool {
+	return x == 0.3 // want float-eq
+}

@@ -1,0 +1,54 @@
+// Package goroutinecap is seeded testdata for the goroutine-capture
+// rule.
+package goroutinecap
+
+import "sync"
+
+// FanOut spawns closures that capture the loop variables instead of
+// receiving them as arguments.
+func FanOut(out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(out); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i // want goroutine-capture
+		}()
+	}
+	wg.Wait()
+}
+
+// RangeFanOut captures a range value variable.
+func RangeFanOut(in []int, out []int) {
+	var wg sync.WaitGroup
+	for j, v := range in {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[j] = v // want goroutine-capture goroutine-capture
+		}()
+	}
+	wg.Wait()
+}
+
+// FanOutByArg is the accepted form: the loop variable enters the
+// closure as an argument, so nothing is captured.
+func FanOutByArg(out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(out); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// SyncClosure captures a loop variable in a plain (non-go) closure,
+// which runs synchronously and is fine.
+func SyncClosure(out []int) {
+	for i := 0; i < len(out); i++ {
+		func() { out[i] = i }()
+	}
+}

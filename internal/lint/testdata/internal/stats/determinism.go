@@ -1,0 +1,30 @@
+// Package stats is seeded testdata: a numeric-core package (its import
+// path ends in internal/stats) violating every determinism invariant.
+package stats
+
+import (
+	"math/rand" // want determinism
+	"time"
+)
+
+// Jitter draws from the global math/rand stream and stamps wall-clock
+// time into a numeric result — both banned in the numeric core.
+func Jitter() float64 {
+	t := time.Now() // want determinism
+	return rand.Float64() + float64(t.Nanosecond())
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want determinism
+}
+
+// SumWeights folds a map in iteration order; with float addition the
+// result depends on the (randomized) order.
+func SumWeights(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want determinism
+		total += v
+	}
+	return total
+}

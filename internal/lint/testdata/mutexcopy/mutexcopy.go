@@ -1,0 +1,61 @@
+// Package mutexcopy is seeded testdata for the mutex-copy rule.
+package mutexcopy
+
+import "sync"
+
+// Counter guards n with an embedded mutex; copying it forks the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot takes the counter by value.
+func Snapshot(c Counter) int { // want mutex-copy
+	return c.n
+}
+
+// Value uses a value receiver.
+func (c Counter) Value() int { // want mutex-copy
+	return c.n
+}
+
+// Fork dereferences and assigns, copying the lock.
+func Fork(c *Counter) int {
+	clone := *c // want mutex-copy
+	return clone.n
+}
+
+// Each ranges over counters by value.
+func Each(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want mutex-copy
+		total += c.n
+	}
+	return total
+}
+
+// Grow copies a bare WaitGroup out of a struct field.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func Grow(p *pool) sync.WaitGroup {
+	wg := p.wg // want mutex-copy
+	return wg
+}
+
+// Inc is the accepted form: pointer receiver, pointer iteration.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// EachPtr iterates by index and takes addresses; no copies.
+func EachPtr(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += (&cs[i]).n
+	}
+	return total
+}

@@ -1,0 +1,25 @@
+// Package panicrule is seeded testdata for the panic rule.
+package panicrule
+
+import "fmt"
+
+// Checked panics in a library package without an allowlist entry.
+func Checked(n int) int {
+	if n < 0 {
+		panic("panicrule: negative n") // want panic
+	}
+	return n
+}
+
+// Formatted panics through fmt.Sprintf; still a panic call.
+func Formatted(n int) {
+	panic(fmt.Sprintf("panicrule: bad %d", n)) // want panic
+}
+
+// Errored is the accepted form.
+func Errored(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("panicrule: negative %d", n)
+	}
+	return n, nil
+}

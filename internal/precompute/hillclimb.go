@@ -184,21 +184,25 @@ func removalCandidates(v *View, cuts []int, i1, i2 int, mode AdjustMode) []int {
 		}
 		return out
 	}
-	want := map[int]bool{}
+	// At most four candidates (two bounding cuts per position); a sorted
+	// slice with dedup keeps the order deterministic.
+	var want []int
 	for _, pos := range []int{i1, i2} {
 		lo, hi := blockCutIndices(cuts, pos)
 		if lo >= 0 && lo < last {
-			want[lo] = true
+			want = append(want, lo)
 		}
 		if hi >= 0 && hi < last {
-			want[hi] = true
+			want = append(want, hi)
 		}
 	}
-	out := make([]int, 0, len(want))
-	for j := range want {
-		out = append(out, j)
+	sortInts(want)
+	out := want[:0]
+	for i, j := range want {
+		if i == 0 || j != want[i-1] {
+			out = append(out, j)
+		}
 	}
-	sortInts(out)
 	return out
 }
 

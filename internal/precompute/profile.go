@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"aqppp/internal/stats"
 )
 
 // Profile is a dimension's error profile (§6.2, Figure 6): the
@@ -58,7 +60,7 @@ func BuildProfile(v *View, maxK, anchors int, cfg ClimbConfig) (*Profile, error)
 func distinctCount(v *View) int {
 	d := 0
 	for i := range v.C {
-		if i == 0 || v.C[i] != v.C[i-1] {
+		if i == 0 || !stats.ExactEqual(v.C[i], v.C[i-1]) {
 			d++
 		}
 	}

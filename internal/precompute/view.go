@@ -151,7 +151,7 @@ func (v *View) Feasible(i int) bool {
 	if i <= 0 || i >= len(v.C) {
 		return true
 	}
-	return v.C[i] != v.C[i-1]
+	return !stats.ExactEqual(v.C[i], v.C[i-1])
 }
 
 // SnapFeasible returns the feasible cut position closest to i (ties break

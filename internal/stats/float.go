@@ -1,0 +1,30 @@
+package stats
+
+import "math"
+
+// ExactEqual reports whether a and b are the identical float64 bit
+// pattern under ==. It exists so that deliberate exact comparisons have
+// one named, auditable home: the float-eq lint rule bans bare ==/!= on
+// floats, and this file carries the single allowlist entry. Use it only
+// when both operands are *stored* values copied from the same source
+// (sorted column ordinals, partition points, dictionary ranks) — never
+// for values recomputed through arithmetic, where reassociation moves
+// the last ulp and a tolerance (ApproxEqual) is required instead.
+func ExactEqual(a, b float64) bool { return a == b }
+
+// ApproxEqual reports whether a and b agree to within tol, measured
+// relative to the larger magnitude (and absolutely below magnitude 1,
+// so comparisons near zero do not demand impossible precision). This is
+// the comparison to use for computed aggregates: serial and parallel
+// Welford merges, prefix-cube corner sums, and bootstrap statistics all
+// agree only up to floating-point reassociation.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { // fast path; also covers shared infinities
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

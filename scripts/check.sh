@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repo's expanded tier-1 verification gate.
+# Runs: build, gofmt, go vet, aqppp-lint, and the race-enabled test suite.
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt -l"
+# Exclude the lint testdata module: its files seed deliberate violations
+# and are formatted, but keep the filter explicit in case that changes.
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> aqppp-lint ./..."
+go run ./cmd/aqppp-lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
