@@ -13,6 +13,7 @@ package aqp
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"aqppp/internal/engine"
 	"aqppp/internal/sample"
@@ -136,13 +137,20 @@ func ConditionVector(s *sample.Sample, q engine.Query) ([]float64, error) {
 			return nil, err
 		}
 	}
-	sel.ForEach(func(i int) {
-		if col != nil {
-			vals[i] = col.Float(i)
-		} else {
-			vals[i] = 1
+	// Iterate the selection word-at-a-time (peeling set bits with
+	// TrailingZeros64) instead of paying a closure call per row.
+	for wi, w := range sel.Words() {
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if col != nil {
+				vals[i] = col.Float(i)
+			} else {
+				vals[i] = 1
+			}
 		}
-	})
+	}
 	return vals, nil
 }
 

@@ -6,6 +6,7 @@ package baseline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"aqppp/internal/aqp"
 	"aqppp/internal/engine"
@@ -188,9 +189,14 @@ func (a *APA) estimateWith(s *sample.Sample, w []float64, q engine.Query) (float
 		return 0, err
 	}
 	est := 0.0
-	sel.ForEach(func(i int) {
-		est += w[i] * col.Float(i)
-	})
+	for wi, word := range sel.Words() {
+		base := wi << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			est += w[i] * col.Float(i)
+		}
+	}
 	return est, nil
 }
 

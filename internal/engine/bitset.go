@@ -35,6 +35,39 @@ func (b *Bitset) SetAll() {
 	b.trim()
 }
 
+// ClearAll unselects every row, making the bitset reusable as a scratch
+// buffer without reallocating.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetRange selects rows [lo, hi) with word-level stores: interior words
+// are written wholesale, so selecting a zone-map "full" block touches 64
+// rows per instruction instead of one. It panics on an out-of-bounds
+// range (programmer error).
+func (b *Bitset) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	if lo < 0 || hi > b.n {
+		panic("engine: Bitset.SetRange out of bounds")
+	}
+	fw, lw := lo>>6, (hi-1)>>6
+	fm := ^uint64(0) << (uint(lo) & 63)
+	lm := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if fw == lw {
+		b.words[fw] |= fm & lm
+		return
+	}
+	b.words[fw] |= fm
+	for w := fw + 1; w < lw; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[lw] |= lm
+}
+
 // trim zeroes the tail bits beyond n in the last word.
 func (b *Bitset) trim() {
 	if rem := uint(b.n) & 63; rem != 0 && len(b.words) > 0 {
@@ -51,6 +84,24 @@ func (b *Bitset) And(o *Bitset) {
 		b.words[i] &= o.words[i]
 	}
 }
+
+// AndWords intersects a raw word slice into b in place. The slice must
+// have exactly b's word count; block kernels use it to merge per-range
+// selections without wrapping scratch buffers in a Bitset.
+func (b *Bitset) AndWords(words []uint64) {
+	if len(words) != len(b.words) {
+		panic("engine: Bitset word-count mismatch in AndWords")
+	}
+	for i := range b.words {
+		b.words[i] &= words[i]
+	}
+}
+
+// Words exposes the backing word slice (bit i of word w is row w*64+i).
+// It is the block-at-a-time read path: hot loops iterate words and peel
+// set bits with bits.TrailingZeros64 instead of paying a closure call
+// per row through ForEach. Callers must treat the slice as read-only.
+func (b *Bitset) Words() []uint64 { return b.words }
 
 // Or unions o into b in place. The two bitsets must have equal length.
 func (b *Bitset) Or(o *Bitset) {

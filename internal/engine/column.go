@@ -11,6 +11,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ColType enumerates the supported column types.
@@ -53,13 +55,25 @@ type Column struct {
 	Codes  []int32
 	Dict   []string
 
-	// rankOf maps a dictionary code to its lexicographic rank; rebuilt
-	// lazily when the dictionary grows.
-	rankOf    []int32
 	dictIndex map[string]int32
-	// zones caches the per-block min/max summary used for data skipping;
-	// rebuilt lazily after appends.
-	zones *zoneMap
+
+	// The rank table (code → lexicographic rank) and zone map (per-block
+	// min/max) are derived caches, built lazily on first use and rebuilt
+	// after appends. Both are published through atomic pointers with
+	// lazyMu serializing builds, so concurrent readers (Filter/Execute on
+	// a shared table) are race-free even when the caches are cold.
+	// Appends still require external synchronization against readers:
+	// only the caches are concurrency-safe, not the data slices.
+	lazyMu sync.Mutex
+	rankP  atomic.Pointer[rankTable]
+	zoneP  atomic.Pointer[zoneMap]
+}
+
+// rankTable snapshots the code→rank mapping for one dictionary length;
+// a stale snapshot (dictionary grew) is detected by dictLen and rebuilt.
+type rankTable struct {
+	dictLen int
+	rank    []int32
 }
 
 // NewIntColumn creates an Int64 column with the given values.
@@ -106,32 +120,42 @@ func (c *Column) appendString(v string) {
 		code = int32(len(c.Dict))
 		c.Dict = append(c.Dict, v)
 		c.dictIndex[v] = code
-		c.rankOf = nil // invalidate rank cache
+		c.rankP.Store(nil) // invalidate rank cache
 	}
 	c.Codes = append(c.Codes, code)
 }
 
 // ranks returns the code→lexicographic-rank table, rebuilding it if the
-// dictionary changed since the last call.
+// dictionary changed since the last call. Concurrent callers are safe:
+// the build is serialized under lazyMu and published atomically, so two
+// goroutines filtering a cold shared column race neither on the build
+// nor on the publication.
 func (c *Column) ranks() []int32 {
-	if c.rankOf != nil && len(c.rankOf) == len(c.Dict) {
-		return c.rankOf
+	if rt := c.rankP.Load(); rt != nil && rt.dictLen == len(c.Dict) {
+		return rt.rank
+	}
+	c.lazyMu.Lock()
+	defer c.lazyMu.Unlock()
+	if rt := c.rankP.Load(); rt != nil && rt.dictLen == len(c.Dict) {
+		return rt.rank
 	}
 	order := make([]int32, len(c.Dict))
 	for i := range order {
 		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool { return c.Dict[order[i]] < c.Dict[order[j]] })
-	c.rankOf = make([]int32, len(c.Dict))
-	for rank, code := range order {
-		c.rankOf[code] = int32(rank)
+	rank := make([]int32, len(c.Dict))
+	for r, code := range order {
+		rank[code] = int32(r)
 	}
-	return c.rankOf
+	c.rankP.Store(&rankTable{dictLen: len(c.Dict), rank: rank})
+	return rank
 }
 
 // warmOrdinals forces the lazy rank cache so that subsequent Ordinal
-// calls are read-only. Callers that share a column across goroutines
-// must warm it before fanning out.
+// calls hit the published snapshot. Lazy builds are race-safe either
+// way; warming before fanning out just keeps workers from serializing
+// on the build mutex.
 func (c *Column) warmOrdinals() {
 	if c.Type == String {
 		c.ranks()

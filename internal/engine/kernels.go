@@ -1,0 +1,727 @@
+package engine
+
+import (
+	"math/bits"
+	"strconv"
+)
+
+// This file is the engine's vectorized kernel layer. Instead of walking
+// rows one at a time through Ordinal/Float calls and per-row closures,
+// query execution proceeds one zone block (4096 rows) at a time:
+//
+//  1. each block is classified against every range via the zone map
+//     (skip / full / straddle, see zonemap.go);
+//  2. straddling ranges run a type-specialized compare kernel that
+//     stores whole selection words into a 512-byte block scratch;
+//  3. the surviving rows feed a type-specialized aggregation kernel —
+//     full blocks fuse filter and aggregate with no selection
+//     materialized at all, so a single-range SUM on clustered data
+//     touches only the measure column.
+//
+// Execute and ExecuteParallel both drive this layer (a parallel worker
+// is just the same block loop over an aligned sub-range), which keeps
+// the two paths trivially consistent.
+
+// ---------------------------------------------------------------------
+// Compare kernels
+// ---------------------------------------------------------------------
+
+// cmpBlock evaluates rlo <= ord(row) <= rhi for rows [lo, hi) and
+// writes the resulting selection words into out: bit 0 of out[0] is row
+// lo, so lo must be a multiple of 64 (zone blocks are). Bits beyond
+// hi-lo stay zero. With and=false the words are stored (out's previous
+// contents are ignored); with and=true they are intersected into out.
+func cmpBlock(c *Column, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
+	switch c.Type {
+	case Int64:
+		cmpInt64(c.Ints, rlo, rhi, lo, hi, out, and)
+	case Float64:
+		cmpFloat64(c.Floats, rlo, rhi, lo, hi, out, and)
+	default:
+		cmpCodes(c.Codes, c.ranks(), rlo, rhi, lo, hi, out, and)
+	}
+}
+
+func cmpInt64(vals []int64, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
+	wi := 0
+	for i := lo; i < hi; wi++ {
+		end := i + 64
+		if end > hi {
+			end = hi
+		}
+		var w uint64
+		// Ranging over the word's subslice keeps the inner loop free of
+		// bounds checks; float64(v) matches the row-at-a-time semantics
+		// exactly, including values beyond 2^53 that round on conversion.
+		for b, v := range vals[i:end] {
+			if f := float64(v); f >= rlo && f <= rhi {
+				w |= 1 << uint(b)
+			}
+		}
+		i = end
+		if and {
+			out[wi] &= w
+		} else {
+			out[wi] = w
+		}
+	}
+}
+
+func cmpFloat64(vals []float64, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
+	wi := 0
+	for i := lo; i < hi; wi++ {
+		end := i + 64
+		if end > hi {
+			end = hi
+		}
+		var w uint64
+		for b, v := range vals[i:end] {
+			if v >= rlo && v <= rhi {
+				w |= 1 << uint(b)
+			}
+		}
+		i = end
+		if and {
+			out[wi] &= w
+		} else {
+			out[wi] = w
+		}
+	}
+}
+
+func cmpCodes(codes []int32, ranks []int32, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
+	wi := 0
+	for i := lo; i < hi; wi++ {
+		end := i + 64
+		if end > hi {
+			end = hi
+		}
+		var w uint64
+		for b, code := range codes[i:end] {
+			if v := float64(ranks[code]); v >= rlo && v <= rhi {
+				w |= 1 << uint(b)
+			}
+		}
+		i = end
+		if and {
+			out[wi] &= w
+		} else {
+			out[wi] = w
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Aggregation kernels
+// ---------------------------------------------------------------------
+
+// aggFamily selects which aggState fields a scalar kernel maintains, so
+// a SUM never pays for min/max bookkeeping and a COUNT never touches
+// column data. finish reads only the family's fields.
+type aggFamily uint8
+
+const (
+	// famCount maintains n only (COUNT).
+	famCount aggFamily = iota
+	// famSum maintains n and sum (SUM, AVG).
+	famSum
+	// famVar maintains n, sum and sum2 (VAR).
+	famVar
+	// famMinMax maintains n, min and max (MIN, MAX).
+	famMinMax
+)
+
+func familyOf(f AggFunc) aggFamily {
+	switch f {
+	case Count:
+		return famCount
+	case Var:
+		return famVar
+	case Min, Max:
+		return famMinMax
+	default:
+		return famSum
+	}
+}
+
+// accRange folds rows [lo, hi) of c into st — the fused kernel for
+// blocks that passed every range wholesale. Accumulation is in row
+// order with a single accumulator, so serial results stay bit-identical
+// to a row-at-a-time loop. c may be nil only for famCount.
+func accRange(c *Column, fam aggFamily, lo, hi int, st *aggState) {
+	if lo >= hi {
+		return
+	}
+	switch fam {
+	case famCount:
+		st.n += int64(hi - lo)
+	case famSum:
+		s := st.sum
+		switch c.Type {
+		case Int64:
+			for _, v := range c.Ints[lo:hi] {
+				s += float64(v)
+			}
+		case Float64:
+			for _, v := range c.Floats[lo:hi] {
+				s += v
+			}
+		default:
+			ranks := c.ranks()
+			for _, code := range c.Codes[lo:hi] {
+				s += float64(ranks[code])
+			}
+		}
+		st.sum = s
+		st.n += int64(hi - lo)
+	case famVar:
+		s, s2 := st.sum, st.sum2
+		switch c.Type {
+		case Int64:
+			for _, v := range c.Ints[lo:hi] {
+				x := float64(v)
+				s += x
+				s2 += x * x
+			}
+		case Float64:
+			for _, x := range c.Floats[lo:hi] {
+				s += x
+				s2 += x * x
+			}
+		default:
+			ranks := c.ranks()
+			for _, code := range c.Codes[lo:hi] {
+				x := float64(ranks[code])
+				s += x
+				s2 += x * x
+			}
+		}
+		st.sum, st.sum2 = s, s2
+		st.n += int64(hi - lo)
+	case famMinMax:
+		switch c.Type {
+		case Int64:
+			for _, v := range c.Ints[lo:hi] {
+				st.observe(float64(v))
+			}
+		case Float64:
+			for _, x := range c.Floats[lo:hi] {
+				st.observe(x)
+			}
+		default:
+			ranks := c.ranks()
+			for _, code := range c.Codes[lo:hi] {
+				st.observe(float64(ranks[code]))
+			}
+		}
+	}
+}
+
+// accWords folds the rows selected by words (bit 0 of words[0] = row
+// base) into st — the kernel for straddling blocks and for aggregating
+// an arbitrary Bitset (call with base 0 and the full word slice).
+func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) {
+	switch fam {
+	case famCount:
+		n := int64(0)
+		for _, w := range words {
+			n += int64(bits.OnesCount64(w))
+		}
+		st.n += n
+	case famSum:
+		s := st.sum
+		n := int64(0)
+		switch c.Type {
+		case Int64:
+			vals := c.Ints
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					s += float64(vals[o+bits.TrailingZeros64(w)])
+					w &= w - 1
+					n++
+				}
+			}
+		case Float64:
+			vals := c.Floats
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					s += vals[o+bits.TrailingZeros64(w)]
+					w &= w - 1
+					n++
+				}
+			}
+		default:
+			codes, ranks := c.Codes, c.ranks()
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					s += float64(ranks[codes[o+bits.TrailingZeros64(w)]])
+					w &= w - 1
+					n++
+				}
+			}
+		}
+		st.sum = s
+		st.n += n
+	case famVar:
+		s, s2 := st.sum, st.sum2
+		n := int64(0)
+		switch c.Type {
+		case Int64:
+			vals := c.Ints
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					x := float64(vals[o+bits.TrailingZeros64(w)])
+					s += x
+					s2 += x * x
+					w &= w - 1
+					n++
+				}
+			}
+		case Float64:
+			vals := c.Floats
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					x := vals[o+bits.TrailingZeros64(w)]
+					s += x
+					s2 += x * x
+					w &= w - 1
+					n++
+				}
+			}
+		default:
+			codes, ranks := c.Codes, c.ranks()
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					x := float64(ranks[codes[o+bits.TrailingZeros64(w)]])
+					s += x
+					s2 += x * x
+					w &= w - 1
+					n++
+				}
+			}
+		}
+		st.sum, st.sum2 = s, s2
+		st.n += n
+	case famMinMax:
+		switch c.Type {
+		case Int64:
+			vals := c.Ints
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					st.observe(float64(vals[o+bits.TrailingZeros64(w)]))
+					w &= w - 1
+				}
+			}
+		case Float64:
+			vals := c.Floats
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					st.observe(vals[o+bits.TrailingZeros64(w)])
+					w &= w - 1
+				}
+			}
+		default:
+			codes, ranks := c.Codes, c.ranks()
+			for wi, w := range words {
+				o := base + wi<<6
+				for w != 0 {
+					st.observe(float64(ranks[codes[o+bits.TrailingZeros64(w)]]))
+					w &= w - 1
+				}
+			}
+		}
+	}
+}
+
+// observe updates the min/max family the same way aggState.add does,
+// keeping MIN/MAX bit-identical with the row-at-a-time path.
+func (a *aggState) observe(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+}
+
+// ---------------------------------------------------------------------
+// Block executor
+// ---------------------------------------------------------------------
+
+// blockExec drives block-at-a-time evaluation of a conjunction of
+// ranges. It is built once per query (resolving columns, zone maps and
+// rank tables up front) and is safe for concurrent run calls over
+// disjoint row ranges — parallel workers share one executor.
+type blockExec struct {
+	ranges []Range
+	cols   []*Column
+	zones  []*zoneMap // nil entry: column below the zone threshold
+}
+
+// newBlockExec resolves the query's range columns and warms their
+// derived caches so the block loop (and any parallel workers) only ever
+// read them.
+func (t *Table) newBlockExec(ranges []Range) (*blockExec, error) {
+	e := &blockExec{
+		ranges: ranges,
+		cols:   make([]*Column, len(ranges)),
+		zones:  make([]*zoneMap, len(ranges)),
+	}
+	for i, r := range ranges {
+		c, err := t.Column(r.Col)
+		if err != nil {
+			return nil, err
+		}
+		e.cols[i] = c
+		c.warmOrdinals()
+		if c.useZones() {
+			e.zones[i] = c.zonesFor()
+		}
+	}
+	return e, nil
+}
+
+// run evaluates the ranges over rows [lo, hi) — lo must be a multiple
+// of zoneBlockSize — calling full(blo, bhi) for blocks every row of
+// which matches, and partial(blo, bhi, words) for blocks with a partial
+// selection (words holds the block-local selection, bit 0 of words[0]
+// being row blo). Blocks the zone maps prove empty are skipped without
+// touching row data.
+func (e *blockExec) run(lo, hi int, full func(blo, bhi int), partial func(blo, bhi int, words []uint64)) {
+	var scratch [blockWords]uint64
+	straddle := make([]int, 0, len(e.ranges))
+	for blo := lo; blo < hi; blo += zoneBlockSize {
+		bhi := blo + zoneBlockSize
+		if bhi > hi {
+			bhi = hi
+		}
+		b := blo / zoneBlockSize
+		straddle = straddle[:0]
+		skip := false
+		for i := range e.ranges {
+			cls := blockStraddle
+			if z := e.zones[i]; z != nil {
+				cls = z.classify(b, e.ranges[i].Lo, e.ranges[i].Hi)
+			}
+			if cls == blockSkip {
+				skip = true
+				break
+			}
+			if cls == blockStraddle {
+				straddle = append(straddle, i)
+			}
+		}
+		if skip {
+			continue
+		}
+		if len(straddle) == 0 {
+			full(blo, bhi)
+			continue
+		}
+		sw := scratch[:(bhi-blo+63)/64]
+		for k, i := range straddle {
+			cmpBlock(e.cols[i], e.ranges[i].Lo, e.ranges[i].Hi, blo, bhi, sw, k > 0)
+		}
+		partial(blo, bhi, sw)
+	}
+}
+
+// scalarOver runs a scalar aggregate over rows [lo, hi) of the
+// executor's table. col may be nil only for famCount.
+func scalarOver(e *blockExec, col *Column, fam aggFamily, lo, hi int) aggState {
+	var st aggState
+	e.run(lo, hi,
+		func(blo, bhi int) { accRange(col, fam, blo, bhi, &st) },
+		func(blo, bhi int, words []uint64) { accWords(col, fam, blo, words, &st) },
+	)
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Group-by kernels
+// ---------------------------------------------------------------------
+
+// maxDirectGroupDomain bounds the ordinal width of a single Int64
+// group-by column that still gets a slice-indexed group table; wider
+// domains fall back to the string-keyed map.
+const maxDirectGroupDomain = 1 << 16
+
+// groupMode selects the group-key strategy.
+type groupMode uint8
+
+const (
+	// gmCodes: one String group column; slots indexed by dictionary code.
+	gmCodes groupMode = iota
+	// gmInts: one small-domain Int64 group column; slots indexed by
+	// value minus the domain minimum.
+	gmInts
+	// gmMap: multi-column or wide/float keys; string-keyed map fallback.
+	gmMap
+)
+
+// groupSlot is one group's accumulator in the direct (slice-indexed)
+// modes; seen gates the first-touch bookkeeping.
+type groupSlot struct {
+	seen bool
+	st   aggState
+}
+
+type mapSlot struct{ st aggState }
+
+// aggKind tags the aggregate column's access path, hoisted out of the
+// per-row loops.
+type aggKind uint8
+
+const (
+	aggNone  aggKind = iota // COUNT: contribute 0, matching aggState.add(0)
+	aggInt                  // Int64 column
+	aggFloat                // Float64 column
+	aggCode                 // String column: rank of the code
+)
+
+// groupSink accumulates per-group aggregates. One sink per worker; a
+// prototype resolves the mode once and cloneEmpty stamps out workers.
+type groupSink struct {
+	mode groupMode
+	fun  AggFunc
+
+	// aggregate access, hoisted for the row loops
+	kind      aggKind
+	aggInts   []int64
+	aggFloats []float64
+	aggCodes  []int32
+	aggRanks  []int32
+
+	// direct modes
+	keyCodes []int32 // gmCodes
+	dict     []string
+	keyInts  []int64 // gmInts
+	base     int64
+	slots    []groupSlot
+	order    []int32 // first-seen slot indices
+
+	// map mode
+	cols   []*Column
+	m      map[string]*mapSlot
+	morder []string
+}
+
+// newGroupSink resolves the group-by strategy for the query: dictionary
+// codes or small-domain ints index a pre-sized slot slice; everything
+// else keeps the string-keyed map.
+func newGroupSink(t *Table, q Query) (*groupSink, error) {
+	g := &groupSink{fun: q.Func, mode: gmMap}
+	if q.Func != Count {
+		col, err := t.Column(q.Col)
+		if err != nil {
+			return nil, err
+		}
+		switch col.Type {
+		case Int64:
+			g.kind, g.aggInts = aggInt, col.Ints
+		case Float64:
+			g.kind, g.aggFloats = aggFloat, col.Floats
+		default:
+			g.kind, g.aggCodes, g.aggRanks = aggCode, col.Codes, col.ranks()
+		}
+	}
+	g.cols = make([]*Column, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		g.cols[i] = c
+		c.warmOrdinals() // map-mode keys and parallel workers read ranks
+	}
+	if len(g.cols) == 1 {
+		switch c := g.cols[0]; c.Type {
+		case String:
+			g.mode = gmCodes
+			g.keyCodes = c.Codes
+			g.dict = c.Dict
+			g.slots = make([]groupSlot, len(c.Dict))
+		case Int64:
+			// The domain scan stays in int64: converting through float
+			// ordinals would round values beyond 2^53 and corrupt the
+			// slot index base.
+			if len(c.Ints) > 0 {
+				mn, mx := c.Ints[0], c.Ints[0]
+				for _, v := range c.Ints[1:] {
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if width := uint64(mx) - uint64(mn); width < maxDirectGroupDomain {
+					g.mode = gmInts
+					g.keyInts = c.Ints
+					g.base = mn
+					g.slots = make([]groupSlot, int(width)+1)
+				}
+			}
+		}
+	}
+	if g.mode == gmMap {
+		g.m = make(map[string]*mapSlot)
+	}
+	return g, nil
+}
+
+// cloneEmpty returns a sink with the same resolved strategy and no
+// accumulated state; parallel workers each get one.
+func (g *groupSink) cloneEmpty() *groupSink {
+	c := *g
+	c.order = nil
+	c.morder = nil
+	if g.slots != nil {
+		c.slots = make([]groupSlot, len(g.slots))
+	}
+	if g.m != nil {
+		c.m = make(map[string]*mapSlot)
+	}
+	return &c
+}
+
+// value returns the aggregate contribution of row i.
+func (g *groupSink) value(i int) float64 {
+	switch g.kind {
+	case aggInt:
+		return float64(g.aggInts[i])
+	case aggFloat:
+		return g.aggFloats[i]
+	case aggCode:
+		return float64(g.aggRanks[g.aggCodes[i]])
+	default:
+		return 0
+	}
+}
+
+// addRow folds row i into its group.
+func (g *groupSink) addRow(i int) {
+	var s *aggState
+	switch g.mode {
+	case gmCodes:
+		gi := int(g.keyCodes[i])
+		sl := &g.slots[gi]
+		if !sl.seen {
+			sl.seen = true
+			g.order = append(g.order, int32(gi))
+		}
+		s = &sl.st
+	case gmInts:
+		gi := int(g.keyInts[i] - g.base)
+		sl := &g.slots[gi]
+		if !sl.seen {
+			sl.seen = true
+			g.order = append(g.order, int32(gi))
+		}
+		s = &sl.st
+	default:
+		key := groupKey(g.cols, i)
+		sl, ok := g.m[key]
+		if !ok {
+			sl = &mapSlot{}
+			g.m[key] = sl
+			g.morder = append(g.morder, key)
+		}
+		s = &sl.st
+	}
+	s.add(g.value(i))
+}
+
+// addRange folds rows [lo, hi) — the full-block sink.
+func (g *groupSink) addRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g.addRow(i)
+	}
+}
+
+// addWords folds the rows selected by the block-local words.
+func (g *groupSink) addWords(blo, _ int, words []uint64) {
+	for wi, w := range words {
+		o := blo + wi<<6
+		for w != 0 {
+			g.addRow(o + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// mergeFrom folds another sink of the same strategy into g, appending
+// groups g has not seen in o's first-seen order. Merging chunked
+// workers in row order therefore reproduces the serial first-seen group
+// order exactly, and never iterates a map (determinism).
+func (g *groupSink) mergeFrom(o *groupSink) {
+	switch g.mode {
+	case gmMap:
+		for _, key := range o.morder {
+			sl, ok := g.m[key]
+			if !ok {
+				sl = &mapSlot{}
+				g.m[key] = sl
+				g.morder = append(g.morder, key)
+			}
+			sl.st.merge(&o.m[key].st)
+		}
+	default:
+		for _, gi := range o.order {
+			sl := &g.slots[gi]
+			if !sl.seen {
+				sl.seen = true
+				g.order = append(g.order, gi)
+			}
+			sl.st.merge(&o.slots[gi].st)
+		}
+	}
+}
+
+// rows materializes the result in first-seen order, rendering direct-
+// mode keys exactly as Column.StringAt would.
+func (g *groupSink) rows() ([]GroupRow, error) {
+	var out []GroupRow
+	switch g.mode {
+	case gmMap:
+		out = make([]GroupRow, 0, len(g.morder))
+		for _, key := range g.morder {
+			sl := g.m[key]
+			v, err := sl.st.finish(g.fun)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, GroupRow{Key: key, Value: v, Rows: int(sl.st.n)})
+		}
+	default:
+		out = make([]GroupRow, 0, len(g.order))
+		for _, gi := range g.order {
+			sl := &g.slots[gi]
+			v, err := sl.st.finish(g.fun)
+			if err != nil {
+				return nil, err
+			}
+			key := ""
+			if g.mode == gmCodes {
+				key = g.dict[gi]
+			} else {
+				key = strconv.FormatInt(g.base+int64(gi), 10)
+			}
+			out = append(out, GroupRow{Key: key, Value: v, Rows: int(sl.st.n)})
+		}
+	}
+	return out, nil
+}

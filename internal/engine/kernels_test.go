@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"aqppp/internal/stats"
+)
+
+func TestBitsetSetRange(t *testing.T) {
+	const n = 200
+	for _, span := range [][2]int{
+		{0, 0}, {0, 1}, {0, 63}, {0, 64}, {0, 65}, {0, n},
+		{63, 64}, {63, 65}, {64, 128}, {64, 129}, {1, 199}, {127, 128},
+		{190, 200}, {5, 5},
+	} {
+		got := NewBitset(n)
+		got.SetRange(span[0], span[1])
+		want := NewBitset(n)
+		for i := span[0]; i < span[1]; i++ {
+			want.Set(i)
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i) != want.Get(i) {
+				t.Fatalf("SetRange(%d, %d): bit %d = %v, want %v",
+					span[0], span[1], i, got.Get(i), want.Get(i))
+			}
+		}
+	}
+	// SetRange must OR into existing bits, not overwrite them.
+	b := NewBitset(n)
+	b.Set(3)
+	b.SetRange(100, 110)
+	if !b.Get(3) || b.Count() != 11 {
+		t.Errorf("SetRange clobbered existing bits: count=%d", b.Count())
+	}
+}
+
+func TestBitsetSetRangePanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds SetRange did not panic")
+		}
+	}()
+	NewBitset(10).SetRange(5, 11)
+}
+
+func TestBitsetClearAllAndWords(t *testing.T) {
+	b := NewBitset(130)
+	b.SetAll()
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("ClearAll left %d bits", b.Count())
+	}
+	b.SetRange(0, 130)
+	mask := make([]uint64, len(b.Words()))
+	mask[0] = 0xF0
+	mask[2] = ^uint64(0)
+	b.AndWords(mask)
+	// 4 bits from word 0, plus rows 128..129 from word 2.
+	if b.Count() != 6 {
+		t.Errorf("AndWords count = %d, want 6", b.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched AndWords did not panic")
+		}
+	}()
+	b.AndWords(make([]uint64, 1))
+}
+
+// TestCmpBlockMatchesOrdinal cross-checks the type-specialized compare
+// kernels (store and AND variants) against the per-row Ordinal test,
+// over aligned and tail-partial windows.
+func TestCmpBlockMatchesOrdinal(t *testing.T) {
+	r := stats.NewRNG(11)
+	n := 300
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	strs := make([]string, n)
+	pool := []string{"ant", "bee", "cat", "dog", "elk", "fox", "gnu"}
+	for i := 0; i < n; i++ {
+		ints[i] = int64(r.Intn(100))
+		floats[i] = r.Float64() * 100
+		strs[i] = pool[r.Intn(len(pool))]
+	}
+	cols := []*Column{
+		NewIntColumn("i", ints),
+		NewFloatColumn("f", floats),
+		NewStringColumn("s", strs),
+	}
+	for _, c := range cols {
+		for trial := 0; trial < 40; trial++ {
+			rlo := r.Float64()*120 - 10
+			rhi := rlo + r.Float64()*60
+			lo := 64 * r.Intn(3)
+			hi := lo + 1 + r.Intn(n-lo-1)
+			nw := (hi - lo + 63) / 64
+			got := make([]uint64, nw)
+			cmpBlock(c, rlo, rhi, lo, hi, got, false)
+			for i := lo; i < hi; i++ {
+				want := c.Ordinal(i) >= rlo && c.Ordinal(i) <= rhi
+				bit := got[(i-lo)>>6]&(1<<(uint(i-lo)&63)) != 0
+				if bit != want {
+					t.Fatalf("%s cmpBlock [%g,%g] rows [%d,%d): row %d = %v, want %v",
+						c.Name, rlo, rhi, lo, hi, i, bit, want)
+				}
+			}
+			// Tail bits beyond hi-lo must stay zero.
+			if rem := uint(hi-lo) & 63; rem != 0 {
+				if got[nw-1]&^((1<<rem)-1) != 0 {
+					t.Fatalf("%s cmpBlock: tail bits set beyond row %d", c.Name, hi)
+				}
+			}
+			// AND variant intersects into pre-set words.
+			and := make([]uint64, nw)
+			for k := range and {
+				and[k] = r.Uint64()
+			}
+			before := append([]uint64(nil), and...)
+			cmpBlock(c, rlo, rhi, lo, hi, and, true)
+			for k := range and {
+				if and[k] != before[k]&got[k] {
+					t.Fatalf("%s cmpBlock and=true word %d: %x, want %x",
+						c.Name, k, and[k], before[k]&got[k])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupModeResolution(t *testing.T) {
+	n := 10
+	small := make([]int64, n)
+	wide := make([]int64, n)
+	huge := make([]int64, n)
+	f := make([]float64, n)
+	s := make([]string, n)
+	for i := 0; i < n; i++ {
+		small[i] = int64(i % 3)
+		wide[i] = int64(i) * (maxDirectGroupDomain / 2)
+		huge[i] = (int64(1) << 60) + int64(i) // beyond 2^53: float ordinals round
+		f[i] = float64(i)
+		s[i] = []string{"x", "y"}[i%2]
+	}
+	tbl := MustNewTable("t",
+		NewIntColumn("small", small),
+		NewIntColumn("wide", wide),
+		NewIntColumn("huge", huge),
+		NewFloatColumn("f", f),
+		NewStringColumn("s", s),
+	)
+	cases := []struct {
+		groupBy []string
+		want    groupMode
+	}{
+		{[]string{"s"}, gmCodes},
+		{[]string{"small"}, gmInts},
+		{[]string{"huge"}, gmInts}, // narrow width at a huge offset still indexes directly
+		{[]string{"wide"}, gmMap},
+		{[]string{"f"}, gmMap},
+		{[]string{"s", "small"}, gmMap},
+	}
+	for _, tc := range cases {
+		g, err := newGroupSink(tbl, Query{Func: Sum, Col: "f", GroupBy: tc.groupBy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.mode != tc.want {
+			t.Errorf("group mode for %v = %d, want %d", tc.groupBy, g.mode, tc.want)
+		}
+	}
+	// The huge-offset direct mode must also render keys exactly.
+	res, err := tbl.Execute(Query{Func: Count, GroupBy: []string{"huge"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != n || res.Groups[0].Key != "1152921504606846976" {
+		t.Errorf("huge-int group keys wrong: %d groups, first %q",
+			len(res.Groups), res.Groups[0].Key)
+	}
+}
+
+// TestFilterColdCachesRace hammers a freshly built table with concurrent
+// Filter/Execute calls so the zone maps and string rank tables are built
+// lazily under contention. Run under -race this fails if the lazy builds
+// are unguarded (the hazard class the PR 1 ranks race belonged to).
+func TestFilterColdCachesRace(t *testing.T) {
+	const n = 3*zoneBlockSize + 100
+	r := stats.NewRNG(23)
+	ints := make([]int64, n)
+	strs := make([]string, n)
+	vals := make([]float64, n)
+	pool := []string{"aa", "bb", "cc", "dd"}
+	for i := 0; i < n; i++ {
+		ints[i] = int64(i)
+		strs[i] = pool[r.Intn(len(pool))]
+		vals[i] = r.Float64()
+	}
+	for iter := 0; iter < 3; iter++ {
+		// A fresh table per iteration: zone maps and rank tables start
+		// cold, so every goroutine below races to build them.
+		tbl := MustNewTable("cold",
+			NewIntColumn("k", ints),
+			NewStringColumn("s", strs),
+			NewFloatColumn("v", vals),
+		)
+		ranges := []Range{{Col: "k", Lo: 100, Hi: float64(n) - 100}, {Col: "s", Lo: 1, Hi: 2}}
+		var wg sync.WaitGroup
+		counts := make([]int, 8)
+		sums := make([]float64, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				sel, err := tbl.Filter(ranges)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				counts[g] = sel.Count()
+				res, err := tbl.Execute(Query{Func: Sum, Col: "v", Ranges: ranges})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sums[g] = res.Value
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < 8; g++ {
+			if counts[g] != counts[0] {
+				t.Fatalf("goroutine %d count %d != %d", g, counts[g], counts[0])
+			}
+			if !stats.ExactEqual(sums[g], sums[0]) {
+				t.Fatalf("goroutine %d sum %v != %v", g, sums[g], sums[0])
+			}
+		}
+	}
+}

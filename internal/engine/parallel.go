@@ -5,53 +5,50 @@ import (
 	"sync"
 )
 
-// ExecuteParallel runs a scalar (non-group-by) query with the given
-// worker count (<= 0 selects GOMAXPROCS), splitting the table into row
-// chunks that are filtered and aggregated independently and merged with
-// the parallel Welford-style combination. Results are bit-identical to
-// Execute for SUM/COUNT/MIN/MAX and agree to floating-point
-// reassociation for AVG/VAR.
+// ExecuteParallel runs a query with the given worker count (<= 0 selects
+// GOMAXPROCS), splitting the table into zone-block-aligned row chunks
+// that run the same block-at-a-time kernels as Execute and are merged
+// deterministically. Scalar results are bit-identical to Execute for
+// COUNT/MIN/MAX, and agree to floating-point reassociation for
+// SUM/AVG/VAR (each worker folds its chunk with one accumulator; the
+// merge re-associates across chunk boundaries). Group-by queries are
+// parallelized too: each worker fills a private group table and tables
+// are merged in worker (= row) order, so group keys, their first-seen
+// order and their row counts match the serial path exactly.
 func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
-	if len(q.GroupBy) > 0 {
-		return t.Execute(q) // group-by stays on the serial path
-	}
 	n := t.NumRows()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	// Chunks are aligned to zone blocks so workers classify and skip
+	// blocks exactly like the serial path.
+	nblocks := (n + zoneBlockSize - 1) / zoneBlockSize
+	if workers > nblocks {
+		workers = nblocks
 	}
-	if workers <= 1 || n < 4096 {
+	if workers <= 1 {
 		return t.Execute(q)
+	}
+	e, err := t.newBlockExec(q.Ranges)
+	if err != nil {
+		return Result{}, err
 	}
 	var col *Column
 	if q.Func != Count {
-		var err error
 		col, err = t.Column(q.Col)
 		if err != nil {
 			return Result{}, err
 		}
-	}
-	rangeCols := make([]*Column, len(q.Ranges))
-	for i, r := range q.Ranges {
-		c, err := t.Column(r.Col)
-		if err != nil {
-			return Result{}, err
-		}
-		rangeCols[i] = c
-	}
-	// Ordinal lazily rebuilds the string rank cache; warm it here so the
-	// goroutines below only ever read it (rebuilding inside them races).
-	for _, c := range rangeCols {
-		c.warmOrdinals()
-	}
-	if col != nil {
 		col.warmOrdinals()
 	}
+	bper := (nblocks + workers - 1) / workers
+	chunk := bper * zoneBlockSize
+	if len(q.GroupBy) > 0 {
+		return t.parallelGroup(q, e, workers, chunk)
+	}
+	fam := familyOf(q.Func)
 	states := make([]aggState, workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -64,29 +61,10 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			// Accumulate into a stack-local state and publish once at the
-			// end: adjacent states[w] entries share cache lines, and
-			// writing them per-row from different cores is false sharing.
-			var st aggState
-			for row := lo; row < hi; row++ {
-				in := true
-				for i, r := range q.Ranges {
-					v := rangeCols[i].Ordinal(row)
-					if v < r.Lo || v > r.Hi {
-						in = false
-						break
-					}
-				}
-				if !in {
-					continue
-				}
-				if col != nil {
-					st.add(col.Float(row))
-				} else {
-					st.add(0)
-				}
-			}
-			states[w] = st
+			// scalarOver accumulates in a local aggState and the result
+			// is published once, so adjacent states entries are not
+			// written per-row from different cores (no false sharing).
+			states[w] = scalarOver(e, col, fam, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -99,6 +77,50 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		return Result{}, err
 	}
 	return Result{Value: v}, nil
+}
+
+// parallelGroup fans a group-by query out over block-aligned chunks.
+// The group-key strategy (dictionary codes, small-domain ints, or the
+// map fallback) is resolved once and cloned per worker; the per-worker
+// tables are merged in worker order, which concatenates the chunks'
+// first-seen orders back into the serial first-seen order.
+func (t *Table) parallelGroup(q Query, e *blockExec, workers, chunk int) (Result, error) {
+	proto, err := newGroupSink(t, q)
+	if err != nil {
+		return Result{}, err
+	}
+	n := t.NumRows()
+	sinks := make([]*groupSink, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := proto.cloneEmpty()
+			e.run(lo, hi, g.addRange, g.addWords)
+			sinks[w] = g
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, g := range sinks {
+		if g == nil {
+			continue
+		}
+		proto.mergeFrom(g)
+	}
+	rows, err := proto.rows()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Groups: rows}, nil
 }
 
 // merge combines another accumulator into a.

@@ -81,52 +81,36 @@ func (q Query) String() string {
 }
 
 // Filter evaluates the conjunction of ranges and returns the selection
-// bitset. A query with no ranges selects every row.
+// bitset. A query with no ranges selects every row. The first range is
+// evaluated directly into the result; further ranges share one scratch
+// bitset, so a k-range filter allocates two bitsets instead of k+1.
 func (t *Table) Filter(ranges []Range) (*Bitset, error) {
 	n := t.NumRows()
 	sel := NewBitset(n)
-	sel.SetAll()
-	for _, r := range ranges {
+	if len(ranges) == 0 {
+		sel.SetAll()
+		return sel, nil
+	}
+	c, err := t.Column(ranges[0].Col)
+	if err != nil {
+		return nil, err
+	}
+	applyRangeZoned(c, ranges[0], sel)
+	var scratch *Bitset
+	for _, r := range ranges[1:] {
 		c, err := t.Column(r.Col)
 		if err != nil {
 			return nil, err
 		}
-		cur := NewBitset(n)
-		applyRangeZoned(c, r, cur)
-		sel.And(cur)
+		if scratch == nil {
+			scratch = NewBitset(n)
+		} else {
+			scratch.ClearAll()
+		}
+		applyRangeZoned(c, r, scratch)
+		sel.And(scratch)
 	}
 	return sel, nil
-}
-
-// applyRange sets bits of rows whose ordinal falls inside r, specialized
-// per column type so the hot loop stays branch-light.
-func applyRange(c *Column, r Range, out *Bitset) {
-	switch c.Type {
-	case Int64:
-		lo, hi := r.Lo, r.Hi
-		for i, v := range c.Ints {
-			f := float64(v)
-			if f >= lo && f <= hi {
-				out.Set(i)
-			}
-		}
-	case Float64:
-		lo, hi := r.Lo, r.Hi
-		for i, v := range c.Floats {
-			if v >= lo && v <= hi {
-				out.Set(i)
-			}
-		}
-	default:
-		ranks := c.ranks()
-		lo, hi := r.Lo, r.Hi
-		for i, code := range c.Codes {
-			f := float64(ranks[code])
-			if f >= lo && f <= hi {
-				out.Set(i)
-			}
-		}
-	}
 }
 
 // Result is the output of an exact query: the scalar answer, or one row
@@ -144,83 +128,36 @@ type GroupRow struct {
 }
 
 // Execute runs the query exactly over the full table. This is the "ground
-// truth" path (and the full-scan baseline the paper times DBX on).
+// truth" path (and the full-scan baseline the paper times DBX on). It is
+// built on the block-at-a-time kernel layer (kernels.go): zone-map block
+// classification feeds fused, type-specialized filter+aggregate kernels,
+// so a single-range scan never materializes a full selection bitset.
 func (t *Table) Execute(q Query) (Result, error) {
-	sel, err := t.Filter(q.Ranges)
+	e, err := t.newBlockExec(q.Ranges)
 	if err != nil {
 		return Result{}, err
 	}
+	n := t.NumRows()
 	if len(q.GroupBy) == 0 {
-		v, err := t.aggregateSelected(q, sel)
+		var col *Column
+		if q.Func != Count {
+			col, err = t.Column(q.Col)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		st := scalarOver(e, col, familyOf(q.Func), 0, n)
+		v, err := st.finish(q.Func)
 		return Result{Value: v}, err
 	}
-	return t.groupAggregate(q, sel)
-}
-
-func (t *Table) aggregateSelected(q Query, sel *Bitset) (float64, error) {
-	var col *Column
-	if q.Func != Count {
-		var err error
-		col, err = t.Column(q.Col)
-		if err != nil {
-			return 0, err
-		}
+	g, err := newGroupSink(t, q)
+	if err != nil {
+		return Result{}, err
 	}
-	var agg aggState
-	sel.ForEach(func(i int) {
-		if col != nil {
-			agg.add(col.Float(i))
-		} else {
-			agg.add(0)
-		}
-	})
-	return agg.finish(q.Func)
-}
-
-func (t *Table) groupAggregate(q Query, sel *Bitset) (Result, error) {
-	var col *Column
-	if q.Func != Count {
-		var err error
-		col, err = t.Column(q.Col)
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	groupCols := make([]*Column, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		c, err := t.Column(g)
-		if err != nil {
-			return Result{}, err
-		}
-		groupCols[i] = c
-	}
-	type slot struct {
-		order int
-		agg   aggState
-	}
-	states := make(map[string]*slot)
-	order := 0
-	sel.ForEach(func(i int) {
-		key := groupKey(groupCols, i)
-		s, ok := states[key]
-		if !ok {
-			s = &slot{order: order}
-			order++
-			states[key] = s
-		}
-		if col != nil {
-			s.agg.add(col.Float(i))
-		} else {
-			s.agg.add(0)
-		}
-	})
-	rows := make([]GroupRow, order)
-	for key, s := range states {
-		v, err := s.agg.finish(q.Func)
-		if err != nil {
-			return Result{}, err
-		}
-		rows[s.order] = GroupRow{Key: key, Value: v, Rows: int(s.agg.n)}
+	e.run(0, n, g.addRange, g.addWords)
+	rows, err := g.rows()
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{Groups: rows}, nil
 }

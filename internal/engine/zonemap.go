@@ -4,12 +4,20 @@ package engine
 // let range filters skip whole blocks without touching row data — the
 // standard column-store trick (small materialized aggregates / data
 // skipping). They are built lazily on first filtered scan and invalidated
-// by appends.
+// by appends. The block size doubles as the engine's vectorization unit:
+// the kernels in kernels.go process one zone block at a time, so a block
+// classification (skip / full / straddle) maps directly onto a kernel
+// choice.
 
 // zoneBlockSize is the number of rows summarized per zone. 4096 rows per
 // zone keeps the map tiny (~0.02% of column size) while skipping
-// effectively on clustered data.
+// effectively on clustered data. It must stay a multiple of 64 so block
+// boundaries are Bitset word boundaries and compare kernels can store
+// whole words.
 const zoneBlockSize = 4096
+
+// blockWords is the number of Bitset words covering one zone block.
+const blockWords = zoneBlockSize / 64
 
 // zoneMap summarizes one column.
 type zoneMap struct {
@@ -17,13 +25,25 @@ type zoneMap struct {
 	rows       int
 }
 
-func (c *Column) invalidateZoneMap() { c.zones = nil }
+func (c *Column) invalidateZoneMap() { c.zoneP.Store(nil) }
 
-// zonesFor returns the column's zone map, building it if stale.
+// zonesFor returns the column's zone map, building it if stale. Like
+// ranks, the lazy build is race-safe: concurrent Filter calls on a
+// shared table with a cold zone map serialize the build under lazyMu
+// and read the atomically published result.
 func (c *Column) zonesFor() *zoneMap {
 	n := c.Len()
-	if c.zones != nil && c.zones.rows == n {
-		return c.zones
+	if z := c.zoneP.Load(); z != nil && z.rows == n {
+		return z
+	}
+	// The build below reads ordinals, which for string columns consult
+	// the rank table. Build that table first, outside the lock: ranks()
+	// takes lazyMu itself and re-entering would deadlock.
+	c.warmOrdinals()
+	c.lazyMu.Lock()
+	defer c.lazyMu.Unlock()
+	if z := c.zoneP.Load(); z != nil && z.rows == n {
+		return z
 	}
 	nb := (n + zoneBlockSize - 1) / zoneBlockSize
 	z := &zoneMap{
@@ -51,16 +71,47 @@ func (c *Column) zonesFor() *zoneMap {
 		z.mins[b] = mn
 		z.maxs[b] = mx
 	}
-	c.zones = z
+	c.zoneP.Store(z)
 	return z
 }
 
-// applyRangeZoned is applyRange with block skipping: blocks entirely
-// outside [r.Lo, r.Hi] are skipped; blocks entirely inside are set
-// wholesale; straddling blocks fall back to the per-row test.
+// useZones reports whether the column is large enough for zone-mapped
+// scans; below the threshold the map overhead outweighs the skipping.
+func (c *Column) useZones() bool { return c.Len() >= 2*zoneBlockSize }
+
+// blockClass is the zone-map classification of one block against one
+// range: the fused kernels dispatch on it directly.
+type blockClass uint8
+
+const (
+	// blockSkip: the block is disjoint from the range; no row can match.
+	blockSkip blockClass = iota
+	// blockFull: the block lies entirely inside the range; every row
+	// matches and the per-row test is unnecessary.
+	blockFull
+	// blockStraddle: the block overlaps the range boundary; rows must be
+	// tested individually (by a compare kernel).
+	blockStraddle
+)
+
+// classify compares block b's summary against [lo, hi].
+func (z *zoneMap) classify(b int, lo, hi float64) blockClass {
+	if z.maxs[b] < lo || z.mins[b] > hi {
+		return blockSkip
+	}
+	if z.mins[b] >= lo && z.maxs[b] <= hi {
+		return blockFull
+	}
+	return blockStraddle
+}
+
+// applyRangeZoned is applyRange with block skipping: skipped blocks are
+// untouched, full blocks are set with word-level stores, and straddling
+// blocks run the type-specialized compare kernel. out must be all-zero
+// on entry (straddling blocks store whole words rather than OR-ing bits).
 func applyRangeZoned(c *Column, r Range, out *Bitset) {
 	n := c.Len()
-	if n < 2*zoneBlockSize {
+	if !c.useZones() {
 		applyRange(c, r, out)
 		return
 	}
@@ -71,43 +122,20 @@ func applyRangeZoned(c *Column, r Range, out *Bitset) {
 		if hi > n {
 			hi = n
 		}
-		if z.maxs[b] < r.Lo || z.mins[b] > r.Hi {
-			continue // block disjoint from the range
+		switch z.classify(b, r.Lo, r.Hi) {
+		case blockSkip:
+		case blockFull:
+			out.SetRange(lo, hi)
+		default:
+			cmpBlock(c, r.Lo, r.Hi, lo, hi, out.words[lo>>6:], false)
 		}
-		if z.mins[b] >= r.Lo && z.maxs[b] <= r.Hi {
-			for i := lo; i < hi; i++ {
-				out.Set(i)
-			}
-			continue
-		}
-		applyRangeRows(c, r, out, lo, hi)
 	}
 }
 
-// applyRangeRows tests rows [lo, hi) individually.
-func applyRangeRows(c *Column, r Range, out *Bitset, lo, hi int) {
-	switch c.Type {
-	case Int64:
-		for i := lo; i < hi; i++ {
-			f := float64(c.Ints[i])
-			if f >= r.Lo && f <= r.Hi {
-				out.Set(i)
-			}
-		}
-	case Float64:
-		for i := lo; i < hi; i++ {
-			v := c.Floats[i]
-			if v >= r.Lo && v <= r.Hi {
-				out.Set(i)
-			}
-		}
-	default:
-		ranks := c.ranks()
-		for i := lo; i < hi; i++ {
-			f := float64(ranks[c.Codes[i]])
-			if f >= r.Lo && f <= r.Hi {
-				out.Set(i)
-			}
-		}
+// applyRange tests rows [0, n) with the compare kernel (no zone map).
+// out must be all-zero on entry.
+func applyRange(c *Column, r Range, out *Bitset) {
+	if n := c.Len(); n > 0 {
+		cmpBlock(c, r.Lo, r.Hi, 0, n, out.words, false)
 	}
 }

@@ -2,6 +2,7 @@ package sample
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"aqppp/internal/engine"
@@ -42,7 +43,13 @@ func NewWorkloadDriven(tbl *engine.Table, queries []engine.Query, rate, baseWeig
 		if err != nil {
 			return nil, err
 		}
-		sel.ForEach(func(i int) { mass[i]++ })
+		for wi, w := range sel.Words() {
+			base := wi << 6
+			for w != 0 {
+				mass[base+bits.TrailingZeros64(w)]++
+				w &= w - 1
+			}
+		}
 	}
 	cum := make([]float64, n)
 	total := 0.0

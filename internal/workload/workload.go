@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"aqppp/internal/cube"
@@ -167,13 +168,18 @@ func CoversOutlier(tbl *engine.Table, q engine.Query, measure string, threshold 
 	if err != nil {
 		return false, err
 	}
-	found := false
-	sel.ForEach(func(i int) {
-		if col.Float(i) > threshold {
-			found = true
+	// Word iteration also buys an early exit the ForEach closure could
+	// not express: stop at the first outlier.
+	for wi, w := range sel.Words() {
+		base := wi << 6
+		for w != 0 {
+			if col.Float(base+bits.TrailingZeros64(w)) > threshold {
+				return true, nil
+			}
+			w &= w - 1
 		}
-	})
-	return found, nil
+	}
+	return false, nil
 }
 
 // FilterOutlierCovering keeps only queries covering at least one outlier

@@ -28,4 +28,10 @@ go run ./cmd/aqppp-lint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> engine bench smoke (benchtime 1x)"
+# One iteration per benchmark: catches kernel-path panics/regressions in
+# the benchmark fixtures without turning the gate into a perf run. The
+# recorded baselines live in BENCH_engine.json.
+go test -run '^$' -bench BenchmarkEngine -benchtime 1x ./internal/engine
+
 echo "==> all checks passed"
