@@ -25,20 +25,34 @@
 //	res, err := prep.Query("SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 10 AND 500")
 //	fmt.Printf("%.0f ± %.0f (95%%)\n", res.Value, res.HalfWidth)
 //
+// # Cancellation and budgets
+//
+// Every query and prepare entry point has a *Context variant
+// (ExactContext, PrepareContext, QueryContext, ...) that threads a
+// context.Context down to the layers that actually loop — block kernels,
+// the hill climber, the bootstrap resampler — so a canceled context
+// unwinds within one block chunk, climb step, or resample. All entry
+// points route through one internal executor and return the unified
+// Error type; classify failures with ErrorKindOf or errors.As. A
+// DB-wide Budget (SetDefaultBudget) adds per-query deadlines, resample
+// caps and scratch-memory caps on top.
+//
 // See the examples/ directory for runnable end-to-end programs.
 package aqppp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"aqppp/internal/core"
 	"aqppp/internal/cube"
 	"aqppp/internal/engine"
+	"aqppp/internal/exec"
 	"aqppp/internal/precompute"
 	"aqppp/internal/sample"
-	"aqppp/internal/sql"
 )
 
 // DB is a registry of in-memory tables plus the prepared AQP++ state built
@@ -47,11 +61,54 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*engine.Table
+	// preps tracks the prepared state built over each table so Drop can
+	// invalidate it: a stale Prepared/MultiPrepared answers with an
+	// ErrUnknownTable-kind error instead of silently serving a table the
+	// DB no longer knows.
+	preps  map[string][]*prepState
+	ex     *exec.Executor
+	budget exec.Budget
+}
+
+// prepState is the liveness flag shared between the DB and one
+// preparation; Drop flips it.
+type prepState struct {
+	table   string
+	dropped atomic.Bool
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*engine.Table)}
+	return &DB{
+		tables: make(map[string]*engine.Table),
+		preps:  make(map[string][]*prepState),
+		ex:     exec.New(),
+	}
+}
+
+// SetDefaultBudget sets the budget applied to every query and prepare
+// run through this DB and its preparations. The zero Budget (the
+// default) is unlimited.
+func (db *DB) SetDefaultBudget(b Budget) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.budget = b
+}
+
+func (db *DB) defaultBudget() exec.Budget {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.budget
+}
+
+// track registers a new preparation over table so Drop can invalidate
+// it later.
+func (db *DB) track(table string) *prepState {
+	st := &prepState{table: table}
+	db.mu.Lock()
+	db.preps[table] = append(db.preps[table], st)
+	db.mu.Unlock()
+	return st
 }
 
 // Register adds a table. Registering a second table with the same name is
@@ -66,22 +123,35 @@ func (db *DB) Register(tbl *engine.Table) error {
 	return nil
 }
 
-// Drop removes a table.
+// Drop removes a table and invalidates every Prepared and MultiPrepared
+// built over it: their queries return an Error of kind ErrUnknownTable
+// from then on.
 func (db *DB) Drop(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	delete(db.tables, name)
+	for _, st := range db.preps[name] {
+		st.dropped.Store(true)
+	}
+	delete(db.preps, name)
 }
 
 // Table returns a registered table.
 func (db *DB) Table(name string) (*engine.Table, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[name]
+	t, ok := db.LookupTable(name)
 	if !ok {
 		return nil, fmt.Errorf("aqppp: no table %q", name)
 	}
 	return t, nil
+}
+
+// LookupTable resolves a table name; it implements the executor's
+// TableSource.
+func (db *DB) LookupTable(name string) (*engine.Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
 }
 
 // TableNames lists registered tables.
@@ -122,19 +192,21 @@ func (db *DB) LoadBinary(r io.Reader) (*engine.Table, error) {
 // Exact runs a SQL statement exactly over the full table (the slow path a
 // user falls back to for MIN/MAX/VAR or when perfect answers are needed).
 func (db *DB) Exact(statement string) (engine.Result, error) {
-	st, err := sql.Parse(statement)
+	return db.ExactContext(context.Background(), statement)
+}
+
+// ExactContext is Exact with cancellation: the scan checks ctx once per
+// zone block, so a canceled context unwinds within one block.
+func (db *DB) ExactContext(ctx context.Context, statement string) (engine.Result, error) {
+	p, err := exec.PlanExactStatement(db, statement)
 	if err != nil {
 		return engine.Result{}, err
 	}
-	tbl, err := db.Table(st.Table)
+	out, err := db.ex.Run(ctx, p, db.defaultBudget())
 	if err != nil {
 		return engine.Result{}, err
 	}
-	q, err := sql.Compile(st, tbl)
-	if err != nil {
-		return engine.Result{}, err
-	}
-	return tbl.Execute(q)
+	return out.Exact, nil
 }
 
 // PrepareOptions configures Prepare: which template to precompute for and
@@ -177,12 +249,20 @@ type Prepared struct {
 	proc       *core.Processor
 	stats      core.BuildStats
 	maintainer *core.Maintainer
+	state      *prepState
 }
 
 // Prepare builds the sample and BP-Cube for a template (the offline
 // stage): sample → per-dimension error profiles → cube shape → hill-climbed
 // partition points → one full-data scan to fill the cube.
 func (db *DB) Prepare(opts PrepareOptions) (*Prepared, error) {
+	return db.PrepareContext(context.Background(), opts)
+}
+
+// PrepareContext is Prepare with cancellation: the hill climber checks
+// ctx once per climb step, so a canceled context unwinds the build
+// within one iteration.
+func (db *DB) PrepareContext(ctx context.Context, opts PrepareOptions) (*Prepared, error) {
 	tbl, err := db.Table(opts.Table)
 	if err != nil {
 		return nil, err
@@ -197,7 +277,7 @@ func (db *DB) Prepare(opts PrepareOptions) (*Prepared, error) {
 	if opts.LocalAdjustment {
 		mode = precompute.Local
 	}
-	proc, st, err := core.Build(tbl, core.BuildConfig{
+	proc, st, err := db.ex.Prepare(ctx, tbl, core.BuildConfig{
 		Template:           cube.Template{Agg: opts.Aggregate, Dims: opts.Dimensions},
 		SampleRate:         opts.SampleRate,
 		CellBudget:         opts.CellBudget,
@@ -207,11 +287,25 @@ func (db *DB) Prepare(opts PrepareOptions) (*Prepared, error) {
 		EqualPartitionOnly: opts.EqualPartitionOnly,
 		WithCountCube:      opts.WithCountCube,
 		WithMinMax:         opts.WithMinMax,
-	})
+	}, db.defaultBudget())
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, tbl: tbl, proc: proc, stats: st}, nil
+	return &Prepared{db: db, tbl: tbl, proc: proc, stats: st, state: db.track(opts.Table)}, nil
+}
+
+// live reports whether the preparation's table is still registered;
+// after DB.Drop it returns an ErrUnknownTable-kind error.
+func (p *Prepared) live(op string) error {
+	if p.state != nil && p.state.dropped.Load() {
+		return &exec.Error{Kind: exec.UnknownTable, Op: op, Err: errDropped(p.tbl.Name)}
+	}
+	return nil
+}
+
+// errDropped is the cause carried by stale-preparation errors.
+func errDropped(table string) error {
+	return fmt.Errorf("table %q was dropped; preparation is stale", table)
 }
 
 // Result is an approximate answer with its confidence interval.
@@ -241,38 +335,50 @@ type GroupResult struct {
 
 // Query parses and answers a SQL statement approximately.
 func (p *Prepared) Query(statement string) (Result, error) {
-	st, err := sql.Parse(statement)
+	return p.QueryContext(context.Background(), statement)
+}
+
+// QueryContext is Query with cancellation; GROUP BY answers check ctx
+// once per group.
+func (p *Prepared) QueryContext(ctx context.Context, statement string) (Result, error) {
+	if err := p.live("query"); err != nil {
+		return Result{}, err
+	}
+	plan, err := exec.PlanQueryStatement(p.proc, p.tbl, statement)
 	if err != nil {
 		return Result{}, err
 	}
-	if st.Table != p.tbl.Name {
-		return Result{}, fmt.Errorf("aqppp: prepared for table %q, statement targets %q", p.tbl.Name, st.Table)
-	}
-	q, err := sql.Compile(st, p.tbl)
-	if err != nil {
-		return Result{}, err
-	}
-	return p.QueryStruct(q)
+	return p.run(ctx, plan)
 }
 
 // QueryStruct answers an engine.Query approximately.
 func (p *Prepared) QueryStruct(q engine.Query) (Result, error) {
-	if len(q.GroupBy) > 0 {
-		groups, err := p.proc.AnswerGroups(q)
-		if err != nil {
-			return Result{}, err
-		}
-		out := Result{Confidence: p.proc.Confidence}
-		for _, g := range groups {
-			out.Groups = append(out.Groups, GroupResult{Key: g.Key, Result: toResult(g.Answer)})
-		}
-		return out, nil
+	return p.QueryStructContext(context.Background(), q)
+}
+
+// QueryStructContext is QueryStruct with cancellation.
+func (p *Prepared) QueryStructContext(ctx context.Context, q engine.Query) (Result, error) {
+	if err := p.live("query"); err != nil {
+		return Result{}, err
 	}
-	ans, err := p.proc.Answer(q)
+	return p.run(ctx, exec.PlanQueryStruct(p.proc, p.tbl, q))
+}
+
+// run executes a plan through the DB's executor and converts the
+// outcome.
+func (p *Prepared) run(ctx context.Context, plan *exec.Plan) (Result, error) {
+	out, err := p.db.ex.Run(ctx, plan, p.db.defaultBudget())
 	if err != nil {
 		return Result{}, err
 	}
-	return toResult(ans), nil
+	if len(plan.Query.GroupBy) > 0 {
+		res := Result{Confidence: p.proc.Confidence}
+		for _, g := range out.Groups {
+			res.Groups = append(res.Groups, GroupResult{Key: g.Key, Result: toResult(g.Answer)})
+		}
+		return res, nil
+	}
+	return toResult(out.Answer), nil
 }
 
 func toResult(a core.Answer) Result {

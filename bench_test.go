@@ -15,6 +15,7 @@ package aqppp
 //	AQPPP_TPCD_ROWS=2000000 AQPPP_QUERIES=1000 AQPPP_K=50000 \
 //	  go test -bench=BenchmarkTable1 -benchtime=1x
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -50,7 +51,7 @@ func report(b *testing.B, key, text string) {
 func BenchmarkTable1(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunTable1(sc)
+		rep, err := experiments.RunTable1(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func benchFigure7(b *testing.B, key string, metric func(*testing.B, *experiments
 	sc := scale()
 	maxDims := 6 // full ten at paper scale is a long run; raise via code if needed
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure7(sc, maxDims)
+		rep, err := experiments.RunFigure7(context.Background(), sc, maxDims)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func benchFigure7(b *testing.B, key string, metric func(*testing.B, *experiments
 func BenchmarkFigure8(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure8(sc)
+		rep, err := experiments.RunFigure8(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure9(sc, 0)
+		rep, err := experiments.RunFigure9(context.Background(), sc, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkFigure10a(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure10a(sc, nil)
+		rep, err := experiments.RunFigure10a(context.Background(), sc, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkFigure10a(b *testing.B) {
 func BenchmarkFigure10b(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure10b(sc)
+		rep, err := experiments.RunFigure10b(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func BenchmarkFigure10b(b *testing.B) {
 func BenchmarkFigure11a(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure11a(sc, nil)
+		rep, err := experiments.RunFigure11a(context.Background(), sc, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkFigure11a(b *testing.B) {
 func BenchmarkFigure11b(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunFigure11b(sc, 6)
+		rep, err := experiments.RunFigure11b(context.Background(), sc, 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func BenchmarkFigure11b(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunAblations(sc)
+		rep, err := experiments.RunAblations(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +236,7 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkWaveletStudy(b *testing.B) {
 	sc := scale()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.RunWaveletStudy(sc, nil)
+		rep, err := experiments.RunWaveletStudy(context.Background(), sc, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,187 @@
+package aqppp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCancelExact: a pre-canceled context fails ExactContext with the
+// unified error shape.
+func TestCancelExact(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(demoTable(5000, 41)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.ExactContext(ctx, "SELECT SUM(v) FROM demo")
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if ErrorKindOf(err) != ErrCanceled {
+		t.Errorf("kind = %v, want ErrCanceled", ErrorKindOf(err))
+	}
+}
+
+// TestCancelPrepareMidClimb cancels a preparation while the hill
+// climber (or a later build stage) is running: the table is large
+// enough that the build cannot finish before the cancel lands, and the
+// build must unwind with the Canceled kind rather than run to
+// completion.
+func TestCancelPrepareMidClimb(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(demoTable(200000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Two dimensions force per-dimension error profiles (eight climbs
+	// per dimension) before the shape split — about two orders of
+	// magnitude more work than the 1 ms cancel delay.
+	_, err := db.PrepareContext(ctx, PrepareOptions{
+		Table: "demo", Aggregate: "v", Dimensions: []string{"k", "tier"},
+		SampleRate: 0.1, CellBudget: 6000,
+	})
+	if err == nil {
+		t.Fatal("prepare completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if ErrorKindOf(err) != ErrCanceled {
+		t.Errorf("kind = %v, want ErrCanceled (err: %v)", ErrorKindOf(err), err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("canceled prepare took %v", el)
+	}
+}
+
+// TestCancelQueryBootstrap cancels mid-resample: the replicate count is
+// far beyond what can run before the cancel lands, so the loop must
+// unwind within one resample instead of draining the schedule.
+func TestCancelQueryBootstrap(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(demoTable(5000, 43)); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := db.Prepare(PrepareOptions{
+		Table: "demo", Aggregate: "v", Dimensions: []string{"k"},
+		SampleRate: 0.2, CellBudget: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = prep.QueryBootstrapContext(ctx, "SELECT SUM(v) FROM demo WHERE k BETWEEN 10 AND 400", 2_000_000)
+	if err == nil {
+		t.Fatal("bootstrap completed despite cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if ErrorKindOf(err) != ErrCanceled {
+		t.Errorf("kind = %v, want ErrCanceled (err: %v)", ErrorKindOf(err), err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("canceled bootstrap took %v", el)
+	}
+}
+
+// TestCancelBudgetTimeout: the DB-wide budget deadline classifies as
+// BudgetExceeded, and clearing the budget restores service.
+func TestCancelBudgetTimeout(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(demoTable(5000, 44)); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := db.Prepare(PrepareOptions{
+		Table: "demo", Aggregate: "v", Dimensions: []string{"k"},
+		SampleRate: 0.2, CellBudget: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetDefaultBudget(Budget{Timeout: time.Nanosecond})
+	_, err = prep.Query("SELECT SUM(v) FROM demo")
+	if ErrorKindOf(err) != ErrBudgetExceeded {
+		t.Errorf("kind = %v, want ErrBudgetExceeded (err: %v)", ErrorKindOf(err), err)
+	}
+	db.SetDefaultBudget(Budget{})
+	if _, err := prep.Query("SELECT SUM(v) FROM demo"); err != nil {
+		t.Errorf("query after budget reset failed: %v", err)
+	}
+}
+
+// TestDropInvalidatesPrepared: Drop must poison every preparation built
+// over the table — stale handles answer with ErrUnknownTable even after
+// a new table claims the same name.
+func TestDropInvalidatesPrepared(t *testing.T) {
+	db := NewDB()
+	if err := db.Register(demoTable(5000, 45)); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := db.Prepare(PrepareOptions{
+		Table: "demo", Aggregate: "v", Dimensions: []string{"k"},
+		SampleRate: 0.2, CellBudget: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := db.PrepareMulti(MultiPrepareOptions{
+		Table: "demo",
+		Templates: []Template{
+			{Aggregate: "v", Dimensions: []string{"k"}},
+		},
+		TotalCells: 100, SampleRate: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := "SELECT SUM(v) FROM demo"
+	if _, err := prep.Query(stmt); err != nil {
+		t.Fatalf("query before drop: %v", err)
+	}
+	if _, _, err := multi.Query(stmt); err != nil {
+		t.Fatalf("multi query before drop: %v", err)
+	}
+
+	db.Drop("demo")
+
+	if _, err := prep.Query(stmt); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("Query after drop: kind = %v, want ErrUnknownTable (err: %v)", ErrorKindOf(err), err)
+	}
+	if _, err := prep.QueryBootstrap(stmt, 10); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("QueryBootstrap after drop: kind = %v (err: %v)", ErrorKindOf(err), err)
+	}
+	if err := prep.Insert(int64(1), 1.0, "gold"); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("Insert after drop: kind = %v (err: %v)", ErrorKindOf(err), err)
+	}
+	if _, _, err := multi.Query(stmt); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("multi Query after drop: kind = %v (err: %v)", ErrorKindOf(err), err)
+	}
+	if _, err := db.Exact(stmt); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("Exact after drop: kind = %v (err: %v)", ErrorKindOf(err), err)
+	}
+
+	// Re-registering the name must not resurrect the stale handles.
+	if err := db.Register(demoTable(100, 46)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Query(stmt); ErrorKindOf(err) != ErrUnknownTable {
+		t.Errorf("Query after re-register: kind = %v (err: %v)", ErrorKindOf(err), err)
+	}
+	if _, err := db.Exact(stmt); err != nil {
+		t.Errorf("Exact on the fresh table failed: %v", err)
+	}
+}

@@ -10,12 +10,19 @@
 // Flags override the AQPPP_* environment scale knobs:
 //
 //	aqppp-bench -tpcd-rows 2000000 -queries 1000 -k 50000 table1
+//
+// Ctrl-C (SIGINT) cancels the run: the active experiment unwinds at its
+// next cancellation check (one hill-climb step or cube stage) and the
+// command exits nonzero. -timeout bounds the whole run the same way.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"aqppp/internal/experiments"
@@ -31,24 +38,33 @@ func main() {
 	flag.IntVar(&sc.K, "k", sc.K, "BP-Cube cell budget")
 	seed := flag.Uint64("seed", sc.Seed, "random seed")
 	maxDims := flag.Int("max-dims", 0, "cap on #dimensions for figure7/figure11b (0 = all ten)")
+	timeout := flag.Duration("timeout", 0, "bound the whole run's wall time (0 = unlimited)")
 	flag.Parse()
 	sc.Seed = *seed
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	experimentsToRun := flag.Args()
 	if len(experimentsToRun) == 0 {
 		experimentsToRun = []string{"all"}
 	}
-	all := map[string]func() (fmt.Stringer, error){
-		"table1":    func() (fmt.Stringer, error) { return experiments.RunTable1(sc) },
-		"figure7":   func() (fmt.Stringer, error) { return experiments.RunFigure7(sc, *maxDims) },
-		"figure8":   func() (fmt.Stringer, error) { return experiments.RunFigure8(sc) },
-		"figure9":   func() (fmt.Stringer, error) { return experiments.RunFigure9(sc, 0) },
-		"figure10a": func() (fmt.Stringer, error) { return experiments.RunFigure10a(sc, nil) },
-		"figure10b": func() (fmt.Stringer, error) { return experiments.RunFigure10b(sc) },
-		"figure11a": func() (fmt.Stringer, error) { return experiments.RunFigure11a(sc, nil) },
-		"figure11b": func() (fmt.Stringer, error) { return experiments.RunFigure11b(sc, *maxDims) },
-		"ablations": func() (fmt.Stringer, error) { return experiments.RunAblations(sc) },
-		"wavelet":   func() (fmt.Stringer, error) { return experiments.RunWaveletStudy(sc, nil) },
+	all := map[string]func(context.Context) (fmt.Stringer, error){
+		"table1":    func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunTable1(ctx, sc) },
+		"figure7":   func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure7(ctx, sc, *maxDims) },
+		"figure8":   func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure8(ctx, sc) },
+		"figure9":   func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure9(ctx, sc, 0) },
+		"figure10a": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure10a(ctx, sc, nil) },
+		"figure10b": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure10b(ctx, sc) },
+		"figure11a": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure11a(ctx, sc, nil) },
+		"figure11b": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure11b(ctx, sc, *maxDims) },
+		"ablations": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunAblations(ctx, sc) },
+		"wavelet":   func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunWaveletStudy(ctx, sc, nil) },
 	}
 	order := []string{"table1", "figure7", "figure8", "figure9", "figure10a", "figure10b", "figure11a", "figure11b", "ablations", "wavelet"}
 
@@ -69,10 +85,13 @@ func main() {
 	failed := false
 	for _, name := range names {
 		start := time.Now()
-		rep, err := all[name]()
+		rep, err := all[name](ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			failed = true
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
 			continue
 		}
 		fmt.Printf("=== %s (ran in %v) ===\n%s\n", name, time.Since(start).Round(time.Millisecond), rep)

@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 	"time"
 
 	"aqppp"
@@ -31,6 +34,47 @@ import (
 	"aqppp/internal/engine"
 	"aqppp/internal/repl"
 )
+
+// interrupter turns SIGINT into per-query cancellation: Ctrl-C aborts
+// the statement (or preparation) in flight instead of killing the
+// shell. With nothing in flight the signal is dropped.
+type interrupter struct {
+	mu      sync.Mutex
+	current context.CancelFunc
+}
+
+func newInterrupter() *interrupter {
+	it := &interrupter{}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		for range sigs {
+			it.mu.Lock()
+			if it.current != nil {
+				it.current()
+			}
+			it.mu.Unlock()
+		}
+	}()
+	return it
+}
+
+// NewContext returns a fresh context that the next SIGINT cancels; its
+// cancel detaches it again.
+func (it *interrupter) NewContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	it.mu.Lock()
+	it.current = cancel
+	it.mu.Unlock()
+	return ctx, func() {
+		it.mu.Lock()
+		if it.current != nil {
+			it.current = nil
+		}
+		it.mu.Unlock()
+		cancel()
+	}
+}
 
 func main() {
 	load := flag.String("load", "", "binary table file to load (from aqppp-gen)")
@@ -43,6 +87,7 @@ func main() {
 	k := flag.Int("k", 5000, "BP-Cube cell budget")
 	seed := flag.Uint64("seed", 42, "random seed")
 	withMinMax := flag.Bool("minmax", false, "also build exact MIN/MAX indexes")
+	timeout := flag.Duration("timeout", 0, "per-statement wall-time bound (0 = unlimited)")
 	flag.Parse()
 
 	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
@@ -59,14 +104,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -agg and -dims to prepare AQP++ (e.g. -agg l_extendedprice -dims l_orderkey,l_suppkey)")
 		os.Exit(2)
 	}
+	it := newInterrupter()
+
 	fmt.Printf("preparing AQP++ for [%s; %s] (rate %.3g, k %d)...\n", *agg, *dims, *rate, *k)
 	t0 := time.Now()
-	prep, err := db.Prepare(aqppp.PrepareOptions{
+	prepCtx, prepCancel := it.NewContext()
+	prep, err := db.PrepareContext(prepCtx, aqppp.PrepareOptions{
 		Table: tbl.Name, Aggregate: *agg,
 		Dimensions: strings.Split(*dims, ","),
 		SampleRate: *rate, CellBudget: *k, Seed: *seed,
 		WithMinMax: *withMinMax,
 	})
+	prepCancel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -75,6 +124,8 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), tbl.Name, tbl.NumRows())
 
 	session := repl.NewSession(db, tbl, prep)
+	session.Timeout = *timeout
+	session.NewContext = it.NewContext
 	if err := session.Run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

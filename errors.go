@@ -1,0 +1,41 @@
+package aqppp
+
+import "aqppp/internal/exec"
+
+// Error is the unified error type every query and prepare entry point
+// returns on failure: a Kind from the small taxonomy below, the entry
+// point that produced it, and the underlying cause. It unwraps, so
+// errors.Is(err, context.Canceled) holds for canceled queries and
+// errors.As(err, &e) recovers the Kind.
+type Error = exec.Error
+
+// ErrorKind classifies an Error.
+type ErrorKind = exec.Kind
+
+// The error taxonomy. Every failure from a DB, Prepared or MultiPrepared
+// entry point carries exactly one of these kinds.
+const (
+	// ErrInternal is an unexpected failure the taxonomy does not model.
+	ErrInternal = exec.Internal
+	// ErrParse marks statements that do not parse or compile.
+	ErrParse = exec.Parse
+	// ErrUnknownTable marks statements targeting an unregistered table —
+	// including preparations invalidated by DB.Drop.
+	ErrUnknownTable = exec.UnknownTable
+	// ErrUnsupported marks well-formed requests the engine cannot serve.
+	ErrUnsupported = exec.Unsupported
+	// ErrCanceled marks queries unwound by the caller's context.
+	ErrCanceled = exec.Canceled
+	// ErrBudgetExceeded marks queries rejected or unwound by the
+	// per-query Budget.
+	ErrBudgetExceeded = exec.BudgetExceeded
+)
+
+// ErrorKindOf extracts the kind from an error returned by this package;
+// other errors (including nil) report ErrInternal.
+func ErrorKindOf(err error) ErrorKind { return exec.KindOf(err) }
+
+// Budget bounds a query or preparation: wall time, bootstrap resamples,
+// and scratch memory. The zero Budget is unlimited. Set a DB-wide
+// default with DB.SetDefaultBudget.
+type Budget = exec.Budget

@@ -1,8 +1,10 @@
 package aqppp_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"aqppp"
 	"aqppp/internal/engine"
@@ -41,4 +43,41 @@ func Example() {
 	}
 	fmt.Printf("%.0f ± %.0f\n", res.Value, res.HalfWidth)
 	// Output: 180 ± 0
+}
+
+// ExampleDB_ExactContext runs an exact query under a cancelable context
+// with a per-query budget. A generous deadline lets the query finish;
+// the same call returns an ErrCanceled-kind error if the caller cancels
+// first, or ErrBudgetExceeded if the budget's own timeout expires.
+func ExampleDB_ExactContext() {
+	keys := make([]int64, 100)
+	vals := make([]float64, 100)
+	for i := range keys {
+		keys[i] = int64(i + 1)
+		vals[i] = float64(i + 1)
+	}
+	tbl := engine.MustNewTable("toy",
+		engine.NewIntColumn("k", keys),
+		engine.NewFloatColumn("v", vals),
+	)
+	db := aqppp.NewDB()
+	if err := db.Register(tbl); err != nil {
+		log.Fatal(err)
+	}
+	db.SetDefaultBudget(aqppp.Budget{Timeout: time.Minute})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := db.ExactContext(ctx, "SELECT SUM(v) FROM toy WHERE k BETWEEN 1 AND 10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum=%.0f\n", res.Value)
+
+	cancel()
+	_, err = db.ExactContext(ctx, "SELECT SUM(v) FROM toy")
+	fmt.Println("after cancel:", aqppp.ErrorKindOf(err))
+	// Output:
+	// sum=55
+	// after cancel: canceled
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -39,7 +40,8 @@ func main() {
 	}
 
 	// The cube includes the group-by attributes as dimensions.
-	proc, _, err := core.Build(tbl, core.BuildConfig{
+	ctx := context.Background()
+	proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 		Template: cube.Template{
 			Agg:  "l_extendedprice",
 			Dims: []string{"l_orderkey", "l_suppkey", "l_returnflag", "l_linestatus"},
@@ -78,7 +80,7 @@ func main() {
 		plainBy[g.Key] = g.Est
 	}
 
-	groups, err := proc.AnswerGroups(q)
+	groups, err := proc.AnswerGroups(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: 400000, Seed: 17})
 
 	// The warehouse already holds a precomputed BP-Cube.
-	built, _, err := core.Build(tbl, core.BuildConfig{
+	built, _, err := core.Build(context.Background(), tbl, core.BuildConfig{
 		Template:   cube.Template{Agg: "l_extendedprice", Dims: []string{"l_orderkey"}},
 		SampleRate: 0.001, CellBudget: 500, Seed: 19,
 	})

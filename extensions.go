@@ -1,12 +1,13 @@
 package aqppp
 
 import (
+	"context"
 	"time"
 
 	"aqppp/internal/core"
 	"aqppp/internal/cube"
 	"aqppp/internal/engine"
-	"aqppp/internal/sql"
+	"aqppp/internal/exec"
 )
 
 // Insert appends one row to the prepared table (values in schema order:
@@ -15,6 +16,9 @@ import (
 // (Appendix C). The preparation must use a uniform sample, and string
 // cube dimensions cannot receive unseen values.
 func (p *Prepared) Insert(vals ...interface{}) error {
+	if err := p.live("insert"); err != nil {
+		return err
+	}
 	if p.maintainer == nil {
 		m, err := core.NewMaintainer(p.tbl, p.proc, 0x5eed5eed)
 		if err != nil {
@@ -28,15 +32,22 @@ func (p *Prepared) Insert(vals ...interface{}) error {
 // QueryBootstrap answers a SUM/COUNT statement with an empirical
 // (bootstrap) confidence interval instead of the closed form (§4.2.2).
 func (p *Prepared) QueryBootstrap(statement string, resamples int) (Result, error) {
-	q, err := sql.ParseAndCompile(statement, p.tbl)
+	return p.QueryBootstrapContext(context.Background(), statement, resamples)
+}
+
+// QueryBootstrapContext is QueryBootstrap with cancellation: the
+// resampling loop checks ctx once per replicate. The DB's default
+// budget caps the replicate count (MaxResamples) and the scratch
+// buffers (MaxScratchBytes).
+func (p *Prepared) QueryBootstrapContext(ctx context.Context, statement string, resamples int) (Result, error) {
+	if err := p.live("bootstrap"); err != nil {
+		return Result{}, err
+	}
+	plan, err := exec.PlanBootstrapStatement(p.proc, p.tbl, statement, resamples, 0xb007)
 	if err != nil {
 		return Result{}, err
 	}
-	ans, err := p.proc.AnswerBootstrap(q, resamples, 0xb007)
-	if err != nil {
-		return Result{}, err
-	}
-	return toResult(ans), nil
+	return p.run(ctx, plan)
 }
 
 // MultiPrepareOptions configures PrepareMulti: several templates sharing
@@ -63,13 +74,20 @@ type Template struct {
 // MultiPrepared serves several templates, routing each query to the best
 // one.
 type MultiPrepared struct {
-	db  *DB
-	tbl *engine.Table
-	mgr *core.Manager
+	db    *DB
+	tbl   *engine.Table
+	mgr   *core.Manager
+	state *prepState
 }
 
 // PrepareMulti builds a multi-template preparation.
 func (db *DB) PrepareMulti(opts MultiPrepareOptions) (*MultiPrepared, error) {
+	return db.PrepareMultiContext(context.Background(), opts)
+}
+
+// PrepareMultiContext is PrepareMulti with cancellation, at the same
+// granularity as PrepareContext (one climb step).
+func (db *DB) PrepareMultiContext(ctx context.Context, opts MultiPrepareOptions) (*MultiPrepared, error) {
 	tbl, err := db.Table(opts.Table)
 	if err != nil {
 		return nil, err
@@ -81,16 +99,16 @@ func (db *DB) PrepareMulti(opts MultiPrepareOptions) (*MultiPrepared, error) {
 	for i, t := range opts.Templates {
 		templates[i] = cube.Template{Agg: t.Aggregate, Dims: t.Dimensions}
 	}
-	mgr, err := core.BuildManager(tbl, core.ManagerConfig{
+	mgr, err := db.ex.PrepareMulti(ctx, tbl, core.ManagerConfig{
 		Templates:  templates,
 		TotalCells: opts.TotalCells,
 		SampleRate: opts.SampleRate,
 		Seed:       opts.Seed,
-	})
+	}, db.defaultBudget())
 	if err != nil {
 		return nil, err
 	}
-	return &MultiPrepared{db: db, tbl: tbl, mgr: mgr}, nil
+	return &MultiPrepared{db: db, tbl: tbl, mgr: mgr, state: db.track(opts.Table)}, nil
 }
 
 // Budgets reports the per-template cell allocation.
@@ -101,15 +119,24 @@ func (m *MultiPrepared) Budgets() []int {
 // Query answers a statement with the best-matching template's processor;
 // the second return value is the template index used.
 func (m *MultiPrepared) Query(statement string) (Result, int, error) {
-	q, err := sql.ParseAndCompile(statement, m.tbl)
+	return m.QueryContext(context.Background(), statement)
+}
+
+// QueryContext is Query with cancellation.
+func (m *MultiPrepared) QueryContext(ctx context.Context, statement string) (Result, int, error) {
+	if m.state != nil && m.state.dropped.Load() {
+		return Result{}, 0, &exec.Error{Kind: exec.UnknownTable, Op: "multi",
+			Err: errDropped(m.tbl.Name)}
+	}
+	plan, err := exec.PlanMultiStatement(m.mgr, m.tbl, statement)
 	if err != nil {
 		return Result{}, 0, err
 	}
-	ans, used, err := m.mgr.Answer(q)
+	out, err := m.db.ex.Run(ctx, plan, m.db.defaultBudget())
 	if err != nil {
 		return Result{}, 0, err
 	}
-	return toResult(ans), used, nil
+	return toResult(out.Answer), out.Template, nil
 }
 
 // SpacePlan mirrors core.SpacePlan for the public API.

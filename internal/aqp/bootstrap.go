@@ -1,6 +1,7 @@
 package aqp
 
 import (
+	"context"
 	"fmt"
 
 	"aqppp/internal/engine"
@@ -16,7 +17,10 @@ import (
 // The returned Estimate's Value is the plug-in estimate on the full sample
 // and its interval is the percentile-bootstrap interval recentred on the
 // plug-in value (so HalfWidth is half the percentile interval's width).
-func Bootstrap(s *sample.Sample, q engine.Query, confidence float64, resamples int, seed uint64) (Estimate, error) {
+//
+// ctx is checked once per resample, so a canceled caller unwinds within
+// one replicate and receives ctx's error.
+func Bootstrap(ctx context.Context, s *sample.Sample, q engine.Query, confidence float64, resamples int, seed uint64) (Estimate, error) {
 	if len(q.GroupBy) > 0 {
 		return Estimate{}, fmt.Errorf("aqp: Bootstrap does not handle GROUP BY")
 	}
@@ -32,6 +36,9 @@ func Bootstrap(s *sample.Sample, q engine.Query, confidence float64, resamples i
 	reps := make([]float64, 0, resamples)
 	idx := make([]int, n)
 	for rep := 0; rep < resamples; rep++ {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		for i := range idx {
 			idx[i] = r.Intn(n)
 		}

@@ -1,6 +1,7 @@
 package aqp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestBootstrapSumAgreesWithClosedForm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	boot, err := Bootstrap(s, q, 0.95, 300, 22)
+	boot, err := Bootstrap(context.Background(), s, q, 0.95, 300, 22)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestBootstrapVar(t *testing.T) {
 	q := engine.Query{Func: engine.Var, Col: "v", Ranges: []engine.Range{{Col: "k", Lo: 1, Hi: 800}}}
 	truth, _ := tbl.Execute(q)
 	s, _ := sample.NewUniform(tbl, 0.05, 24)
-	boot, err := Bootstrap(s, q, 0.95, 200, 25)
+	boot, err := Bootstrap(context.Background(), s, q, 0.95, 200, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestBootstrapRejectsGroupBy(t *testing.T) {
 	tbl := buildTable(100, 26)
 	s, _ := sample.NewUniform(tbl, 0.5, 27)
 	q := engine.Query{Func: engine.Sum, Col: "v", GroupBy: []string{"g"}}
-	if _, err := Bootstrap(s, q, 0.95, 10, 1); err == nil {
+	if _, err := Bootstrap(context.Background(), s, q, 0.95, 10, 1); err == nil {
 		t.Error("GROUP BY accepted")
 	}
 }
@@ -60,8 +61,8 @@ func TestBootstrapDeterministic(t *testing.T) {
 	tbl := buildTable(2000, 28)
 	s, _ := sample.NewUniform(tbl, 0.1, 29)
 	q := engine.Query{Func: engine.Sum, Col: "v"}
-	a, _ := Bootstrap(s, q, 0.95, 50, 7)
-	b, _ := Bootstrap(s, q, 0.95, 50, 7)
+	a, _ := Bootstrap(context.Background(), s, q, 0.95, 50, 7)
+	b, _ := Bootstrap(context.Background(), s, q, 0.95, 50, 7)
 	if a != b {
 		t.Errorf("same seed gave %+v and %+v", a, b)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"aqppp/internal/aqp"
@@ -9,6 +10,35 @@ import (
 	"aqppp/internal/stats"
 )
 
+// DefaultResamples is the replicate count used when a caller passes a
+// non-positive resample count.
+const DefaultResamples = 200
+
+// BootstrapScratch holds the per-resample buffers the bootstrap loop
+// reuses: the with-replacement index vector and the replicate value
+// vector. The exec layer pools these across queries (sync.Pool) and
+// enforces the budget's scratch cap against BootstrapScratchBytes.
+type BootstrapScratch struct {
+	Idx  []int
+	Vals []float64
+}
+
+// Grow ensures capacity for an n-row sample.
+func (sc *BootstrapScratch) Grow(n int) {
+	if cap(sc.Idx) < n {
+		sc.Idx = make([]int, n)
+	}
+	if cap(sc.Vals) < n {
+		sc.Vals = make([]float64, n)
+	}
+	sc.Idx = sc.Idx[:n]
+	sc.Vals = sc.Vals[:n]
+}
+
+// BootstrapScratchBytes is the scratch footprint of a bootstrap run
+// over an n-row sample: 8 bytes per index plus 8 per replicate value.
+func BootstrapScratchBytes(n int) int64 { return int64(n) * 16 }
+
 // AnswerBootstrap answers a SUM/COUNT query with an empirical bootstrap
 // confidence interval instead of the closed form (§4.2.2): after
 // identifying the pre as usual, it resamples the sample, recomputes
@@ -16,12 +46,17 @@ import (
 // interval off the replicate distribution. This is the general path the
 // paper prescribes for aggregates without closed-form intervals; for SUM
 // it doubles as a cross-check of the CLT interval (see the tests).
-func (p *Processor) AnswerBootstrap(q engine.Query, resamples int, seed uint64) (Answer, error) {
+//
+// ctx is checked once per resample, so a canceled caller unwinds within
+// one replicate. scratch may be nil (buffers are then allocated); a
+// non-nil scratch is grown to the sample size and reused across all
+// replicates.
+func (p *Processor) AnswerBootstrap(ctx context.Context, q engine.Query, resamples int, seed uint64, scratch *BootstrapScratch) (Answer, error) {
 	if q.Func != engine.Sum && q.Func != engine.Count {
-		return Answer{}, fmt.Errorf("core: AnswerBootstrap supports SUM/COUNT, got %v", q.Func)
+		return Answer{}, fmt.Errorf("core: AnswerBootstrap supports SUM/COUNT, got %v: %w", q.Func, ErrUnsupported)
 	}
 	if len(q.GroupBy) > 0 {
-		return Answer{}, fmt.Errorf("core: AnswerBootstrap does not handle GROUP BY")
+		return Answer{}, fmt.Errorf("core: AnswerBootstrap does not handle GROUP BY: %w", ErrUnsupported)
 	}
 	conf := p.confidence()
 	c := p.Cube
@@ -49,18 +84,24 @@ func (p *Processor) AnswerBootstrap(q engine.Query, resamples int, seed uint64) 
 	point := preVal + aqp.SumOfValues(p.Sample, vals, conf).Value
 
 	if resamples <= 0 {
-		resamples = 200
+		resamples = DefaultResamples
 	}
 	r := stats.NewRNG(seed)
 	n := p.Sample.Size()
-	idx := make([]int, n)
+	if scratch == nil {
+		scratch = &BootstrapScratch{}
+	}
+	scratch.Grow(n)
+	idx, rvals := scratch.Idx, scratch.Vals
 	reps := make([]float64, 0, resamples)
 	for rep := 0; rep < resamples; rep++ {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		for i := range idx {
 			idx[i] = r.Intn(n)
 		}
 		rs := aqp.ResampleRows(p.Sample, idx)
-		rvals := make([]float64, n)
 		for i, j := range idx {
 			rvals[i] = vals[j]
 		}

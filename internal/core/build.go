@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -70,7 +71,10 @@ func (b BuildStats) TotalTime() time.Duration {
 func (b BuildStats) TotalBytes() int64 { return b.SampleBytes + b.CubeBytes }
 
 // Build runs the preprocessing pipeline and returns a ready Processor.
-func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
+// ctx cancels the pipeline: the hill climber checks it per climb step,
+// and each stage boundary checks it before starting, so a canceled
+// Prepare unwinds within one climb iteration (or one cube/stage build).
+func Build(ctx context.Context, tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
 	var st BuildStats
 	if len(cfg.Template.Dims) == 0 {
 		return nil, st, fmt.Errorf("core: template has no dimensions")
@@ -93,6 +97,9 @@ func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
 	climb := precompute.ClimbConfig{Mode: cfg.Mode, MaxIterations: maxIter}
 
 	// Stage 0: the sample.
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	t0 := time.Now()
 	s := cfg.PrebuiltSample
 	if s == nil {
@@ -122,7 +129,7 @@ func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
 	} else {
 		profiles := make([]*precompute.Profile, d)
 		for i, v := range views {
-			p, err := precompute.BuildProfile(v, cfg.CellBudget, anchors, climb)
+			p, err := precompute.BuildProfile(ctx, v, cfg.CellBudget, anchors, climb)
 			if err != nil {
 				return nil, st, err
 			}
@@ -142,7 +149,7 @@ func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
 			cuts, err = precompute.EqualPartition(v, ks[i])
 		} else {
 			var res precompute.ClimbResult
-			res, err = precompute.Optimize1D(v, ks[i], climb)
+			res, err = precompute.Optimize1D(ctx, v, ks[i], climb)
 			cuts = res.Cuts
 		}
 		if err != nil {
@@ -158,6 +165,9 @@ func Build(tbl *engine.Table, cfg BuildConfig) (*Processor, BuildStats, error) {
 	st.OptimizeTime = time.Since(t1)
 
 	// Stage 2 (full data): build the cube(s).
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	t2 := time.Now()
 	c, err := cube.Build(tbl, cfg.Template, points)
 	if err != nil {

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +21,12 @@ import (
 	"aqppp/internal/ident"
 	"aqppp/internal/sample"
 )
+
+// ErrUnsupported marks well-formed requests the processor cannot serve
+// (an aggregate outside a path's repertoire, a GROUP BY where none is
+// handled, a MIN/MAX with no covering index). Error sites wrap it so
+// the exec layer can classify without string matching.
+var ErrUnsupported = errors.New("unsupported")
 
 // Processor answers queries for one query template using a sample and an
 // optional BP-Cube.
@@ -94,7 +102,7 @@ func (p *Processor) Answer(q engine.Query) (Answer, error) {
 	case engine.Min, engine.Max:
 		return p.answerMinMax(q)
 	default:
-		return Answer{}, fmt.Errorf("core: unsupported aggregate %v", q.Func)
+		return Answer{}, fmt.Errorf("core: %w aggregate %v", ErrUnsupported, q.Func)
 	}
 }
 
@@ -125,7 +133,7 @@ func (p *Processor) answerMinMax(q engine.Query) (Answer, error) {
 			PreValue: v,
 		}, nil
 	}
-	return Answer{}, fmt.Errorf("core: no MIN/MAX index covers %v (build one with WithMinMax)", q)
+	return Answer{}, fmt.Errorf("core: %w: no MIN/MAX index covers %v (build one with WithMinMax)", ErrUnsupported, q)
 }
 
 // countCube returns the COUNT cube if available.
@@ -259,7 +267,10 @@ func (p *Processor) diffOrCond(q engine.Query, c *cube.BPCube, pre ident.Pre) ([
 // points, each group's pre region pins them exactly; otherwise the pre
 // simply does not restrict them (still unbiased, higher variance, and the
 // subsample scoring arbitrates against φ).
-func (p *Processor) AnswerGroups(q engine.Query) ([]GroupAnswer, error) {
+//
+// ctx is checked once per group, so a canceled caller unwinds within
+// one group's pipeline.
+func (p *Processor) AnswerGroups(ctx context.Context, q engine.Query) ([]GroupAnswer, error) {
 	if len(q.GroupBy) == 0 {
 		return nil, fmt.Errorf("core: AnswerGroups needs GROUP BY")
 	}
@@ -290,6 +301,9 @@ func (p *Processor) AnswerGroups(q engine.Query) ([]GroupAnswer, error) {
 	}
 	out := make([]GroupAnswer, 0, len(order))
 	for _, key := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gi := seen[key]
 		gq := q
 		gq.GroupBy = nil

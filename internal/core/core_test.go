@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -37,7 +38,7 @@ func testTable(n int, seed uint64) *engine.Table {
 
 func buildProcessor(t *testing.T, tbl *engine.Table, dims []string, budget int) *Processor {
 	t.Helper()
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: dims},
 		SampleRate: 0.1,
 		CellBudget: budget,
@@ -164,7 +165,7 @@ func TestUnbiasedness(t *testing.T) {
 	truth, _ := tbl.Execute(q)
 	var m stats.Moments
 	for i := 0; i < 40; i++ {
-		p, _, err := Build(tbl, BuildConfig{
+		p, _, err := Build(context.Background(), tbl, BuildConfig{
 			Template: tmpl, SampleRate: 0.03, CellBudget: 10, Seed: uint64(100 + i),
 		})
 		if err != nil {
@@ -183,7 +184,7 @@ func TestUnbiasedness(t *testing.T) {
 
 func TestAnswerCount(t *testing.T) {
 	tbl := testTable(20000, 6)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "", Dims: []string{"c1"}},
 		SampleRate: 0.1, CellBudget: 15, Seed: 11,
 	})
@@ -204,7 +205,7 @@ func TestAnswerCount(t *testing.T) {
 
 func TestAnswerAvg(t *testing.T) {
 	tbl := testTable(30000, 7)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.1, CellBudget: 20, Seed: 13, WithCountCube: true,
 	})
@@ -241,14 +242,14 @@ func TestAnswerRejects(t *testing.T) {
 	if _, err := p.Answer(engine.Query{Func: engine.Sum, Col: "a", GroupBy: []string{"g"}}); err == nil {
 		t.Error("GROUP BY accepted by Answer")
 	}
-	if _, err := p.AnswerGroups(engine.Query{Func: engine.Sum, Col: "a"}); err == nil {
+	if _, err := p.AnswerGroups(context.Background(), engine.Query{Func: engine.Sum, Col: "a"}); err == nil {
 		t.Error("AnswerGroups without GROUP BY accepted")
 	}
 }
 
 func TestAnswerGroups(t *testing.T) {
 	tbl := testTable(30000, 9)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1", "g"}},
 		SampleRate: 0.1, CellBudget: 40, Seed: 17,
 	})
@@ -263,7 +264,7 @@ func TestAnswerGroups(t *testing.T) {
 	for _, gr := range truthRes.Groups {
 		truth[gr.Key] = gr.Value
 	}
-	groups, err := p.AnswerGroups(q)
+	groups, err := p.AnswerGroups(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,20 +281,20 @@ func TestAnswerGroups(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	tbl := testTable(1000, 10)
-	if _, _, err := Build(tbl, BuildConfig{Template: cube.Template{Agg: "a"}, SampleRate: 0.1, CellBudget: 5}); err == nil {
+	if _, _, err := Build(context.Background(), tbl, BuildConfig{Template: cube.Template{Agg: "a"}, SampleRate: 0.1, CellBudget: 5}); err == nil {
 		t.Error("empty dims accepted")
 	}
-	if _, _, err := Build(tbl, BuildConfig{Template: cube.Template{Agg: "a", Dims: []string{"c1"}}, SampleRate: 0.1}); err == nil {
+	if _, _, err := Build(context.Background(), tbl, BuildConfig{Template: cube.Template{Agg: "a", Dims: []string{"c1"}}, SampleRate: 0.1}); err == nil {
 		t.Error("zero budget accepted")
 	}
-	if _, _, err := Build(tbl, BuildConfig{Template: cube.Template{Agg: "nope", Dims: []string{"c1"}}, SampleRate: 0.1, CellBudget: 5}); err == nil {
+	if _, _, err := Build(context.Background(), tbl, BuildConfig{Template: cube.Template{Agg: "nope", Dims: []string{"c1"}}, SampleRate: 0.1, CellBudget: 5}); err == nil {
 		t.Error("missing column accepted")
 	}
 }
 
 func TestBuildStats(t *testing.T) {
 	tbl := testTable(20000, 11)
-	_, st, err := Build(tbl, BuildConfig{
+	_, st, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1", "c2"}},
 		SampleRate: 0.05, CellBudget: 50, Seed: 19,
 	})
@@ -319,7 +320,7 @@ func TestBuildStats(t *testing.T) {
 
 func TestBuild2DAnswers(t *testing.T) {
 	tbl := testTable(30000, 12)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1", "c2"}},
 		SampleRate: 0.1, CellBudget: 100, Seed: 23,
 	})
@@ -342,7 +343,7 @@ func TestBuild2DAnswers(t *testing.T) {
 
 func TestEqualPartitionOnlyAblation(t *testing.T) {
 	tbl := testTable(10000, 13)
-	pEq, _, err := Build(tbl, BuildConfig{
+	pEq, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.1, CellBudget: 10, Seed: 29, EqualPartitionOnly: true,
 	})
@@ -359,7 +360,7 @@ func TestEqualPartitionOnlyAblation(t *testing.T) {
 func TestPrebuiltSampleReused(t *testing.T) {
 	tbl := testTable(10000, 14)
 	s, _ := sample.NewUniform(tbl, 0.1, 31)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		CellBudget: 10, Seed: 31,
 		PrebuiltSample: s,

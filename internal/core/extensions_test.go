@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ import (
 
 func TestMaintainerKeepsCubeExact(t *testing.T) {
 	tbl := testTable(20000, 30)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.1, CellBudget: 15, Seed: 31, WithCountCube: true,
 	})
@@ -72,7 +73,7 @@ func TestMaintainerKeepsCubeExact(t *testing.T) {
 
 func TestMaintainerDomainGrowth(t *testing.T) {
 	tbl := testTable(5000, 36)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.1, CellBudget: 8, Seed: 37,
 	})
@@ -100,7 +101,7 @@ func TestMaintainerDomainGrowth(t *testing.T) {
 func TestMaintainerRejections(t *testing.T) {
 	tbl := testTable(2000, 39)
 	// Cube over the string dimension g.
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"g"}},
 		SampleRate: 0.2, CellBudget: 4, Seed: 40,
 	})
@@ -138,7 +139,7 @@ func TestManagerAllocatesAndRoutes(t *testing.T) {
 		{Agg: "a", Dims: []string{"c1"}},
 		{Agg: "a", Dims: []string{"c1", "c2"}},
 	}
-	m, err := BuildManager(tbl, ManagerConfig{
+	m, err := BuildManager(context.Background(), tbl, ManagerConfig{
 		Templates: templates, TotalCells: 200, SampleRate: 0.05, Seed: 51,
 	})
 	if err != nil {
@@ -178,10 +179,10 @@ func TestManagerAllocatesAndRoutes(t *testing.T) {
 
 func TestManagerValidation(t *testing.T) {
 	tbl := testTable(1000, 52)
-	if _, err := BuildManager(tbl, ManagerConfig{TotalCells: 10, SampleRate: 0.1}); err == nil {
+	if _, err := BuildManager(context.Background(), tbl, ManagerConfig{TotalCells: 10, SampleRate: 0.1}); err == nil {
 		t.Error("no templates accepted")
 	}
-	if _, err := BuildManager(tbl, ManagerConfig{
+	if _, err := BuildManager(context.Background(), tbl, ManagerConfig{
 		Templates:  []cube.Template{{Agg: "a", Dims: []string{"c1"}}, {Agg: "a", Dims: []string{"c2"}}},
 		TotalCells: 1, SampleRate: 0.1,
 	}); err == nil {
@@ -230,7 +231,7 @@ func TestAnswerBootstrapMatchesClosedForm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	boot, err := p.AnswerBootstrap(q, 300, 71)
+	boot, err := p.AnswerBootstrap(context.Background(), q, 300, 71, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,10 +250,10 @@ func TestAnswerBootstrapMatchesClosedForm(t *testing.T) {
 func TestAnswerBootstrapRejects(t *testing.T) {
 	tbl := testTable(2000, 72)
 	p := buildProcessor(t, tbl, []string{"c1"}, 5)
-	if _, err := p.AnswerBootstrap(engine.Query{Func: engine.Avg, Col: "a"}, 10, 1); err == nil {
+	if _, err := p.AnswerBootstrap(context.Background(), engine.Query{Func: engine.Avg, Col: "a"}, 10, 1, nil); err == nil {
 		t.Error("AVG accepted")
 	}
-	if _, err := p.AnswerBootstrap(engine.Query{Func: engine.Sum, Col: "a", GroupBy: []string{"g"}}, 10, 1); err == nil {
+	if _, err := p.AnswerBootstrap(context.Background(), engine.Query{Func: engine.Sum, Col: "a", GroupBy: []string{"g"}}, 10, 1, nil); err == nil {
 		t.Error("GROUP BY accepted")
 	}
 }
@@ -262,11 +263,11 @@ func TestAnswerBootstrapDeterministic(t *testing.T) {
 	p := buildProcessor(t, tbl, []string{"c1"}, 10)
 	q := engine.Query{Func: engine.Sum, Col: "a",
 		Ranges: []engine.Range{{Col: "c1", Lo: 20, Hi: 70}}}
-	a, err := p.AnswerBootstrap(q, 50, 9)
+	a, err := p.AnswerBootstrap(context.Background(), q, 50, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.AnswerBootstrap(q, 50, 9)
+	b, err := p.AnswerBootstrap(context.Background(), q, 50, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestAnswerBootstrapDeterministic(t *testing.T) {
 
 func TestAnswerGroupsFastMatchesSlowPath(t *testing.T) {
 	tbl := testTable(30000, 100)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1", "g"}},
 		SampleRate: 0.1, CellBudget: 40, Seed: 101,
 	})
@@ -294,11 +295,11 @@ func TestAnswerGroupsFastMatchesSlowPath(t *testing.T) {
 	for _, gr := range truthRes.Groups {
 		truth[gr.Key] = gr.Value
 	}
-	slow, err := p.AnswerGroups(q)
+	slow, err := p.AnswerGroups(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := p.AnswerGroupsFast(q)
+	fast, err := p.AnswerGroupsFast(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,14 +328,14 @@ func TestAnswerGroupsFastMatchesSlowPath(t *testing.T) {
 func TestAnswerGroupsFastValidation(t *testing.T) {
 	tbl := testTable(2000, 102)
 	p := buildProcessor(t, tbl, []string{"c1"}, 5)
-	if _, err := p.AnswerGroupsFast(engine.Query{Func: engine.Sum, Col: "a"}); err == nil {
+	if _, err := p.AnswerGroupsFast(context.Background(), engine.Query{Func: engine.Sum, Col: "a"}); err == nil {
 		t.Error("missing GROUP BY accepted")
 	}
 	// No-cube path falls back to the full machinery.
 	s, _ := sample.NewUniform(tbl, 0.2, 103)
 	noCube := &Processor{Sample: s}
 	q := engine.Query{Func: engine.Sum, Col: "a", GroupBy: []string{"g"}}
-	groups, err := noCube.AnswerGroupsFast(q)
+	groups, err := noCube.AnswerGroupsFast(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"aqppp/internal/aqp"
@@ -20,13 +21,13 @@ import (
 // Every per-group answer keeps the φ-guard: a group whose reused pre is
 // worse than plain AQP on the full sample falls back to AQP, so the
 // result is never worse than AnswerGroups' φ baseline.
-func (p *Processor) AnswerGroupsFast(q engine.Query) ([]GroupAnswer, error) {
+func (p *Processor) AnswerGroupsFast(ctx context.Context, q engine.Query) ([]GroupAnswer, error) {
 	if len(q.GroupBy) == 0 {
 		return nil, fmt.Errorf("core: AnswerGroupsFast needs GROUP BY")
 	}
 	if p.Cube == nil || q.Func != engine.Sum || p.Cube.Template.Agg != q.Col {
 		// Without a usable cube the heuristic has nothing to share.
-		return p.AnswerGroups(q)
+		return p.AnswerGroups(ctx, q)
 	}
 	conf := p.confidence()
 	scalar := q
@@ -73,6 +74,9 @@ func (p *Processor) AnswerGroupsFast(q engine.Query) ([]GroupAnswer, error) {
 
 	out := make([]GroupAnswer, 0, len(order))
 	for _, key := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ords := seen[key]
 		gq := scalar
 		gq.Ranges = append(append([]engine.Range(nil), scalar.Ranges...), pinRanges(q.GroupBy, ords)...)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"aqppp/internal/cube"
@@ -37,8 +38,8 @@ type ManagerConfig struct {
 }
 
 // BuildManager allocates the budget and builds one processor per
-// template.
-func BuildManager(tbl *engine.Table, cfg ManagerConfig) (*Manager, error) {
+// template. ctx cancels the build with the same granularity as Build.
+func BuildManager(ctx context.Context, tbl *engine.Table, cfg ManagerConfig) (*Manager, error) {
 	if len(cfg.Templates) == 0 {
 		return nil, fmt.Errorf("core: manager needs at least one template")
 	}
@@ -69,7 +70,7 @@ func BuildManager(tbl *engine.Table, cfg ManagerConfig) (*Manager, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := precompute.BuildProfile(v, cfg.TotalCells, 6, climb)
+			p, err := precompute.BuildProfile(ctx, v, cfg.TotalCells, 6, climb)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +90,7 @@ func BuildManager(tbl *engine.Table, cfg ManagerConfig) (*Manager, error) {
 	}
 	m := &Manager{Sample: s, Templates: cfg.Templates, Budgets: budgets}
 	for t, tmpl := range cfg.Templates {
-		proc, _, err := Build(tbl, BuildConfig{
+		proc, _, err := Build(ctx, tbl, BuildConfig{
 			Template:       tmpl,
 			CellBudget:     budgets[t],
 			Confidence:     conf,

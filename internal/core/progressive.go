@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"aqppp/internal/cube"
@@ -80,7 +81,7 @@ func (p *Progressive) Answer(q engine.Query) (Answer, error) {
 		return Answer{}, fmt.Errorf("core: progressive sample is empty; call Step first")
 	}
 	if q.Func != engine.Sum && q.Func != engine.Count {
-		return Answer{}, fmt.Errorf("core: progressive answers SUM/COUNT, got %v", q.Func)
+		return Answer{}, fmt.Errorf("core: progressive answers SUM/COUNT, got %v: %w", q.Func, ErrUnsupported)
 	}
 	proc := &Processor{Sample: p.sample, Confidence: p.conf}
 	if p.c != nil && ((q.Func == engine.Sum && p.c.Template.Agg == q.Col) ||
@@ -92,10 +93,15 @@ func (p *Progressive) Answer(q engine.Query) (Answer, error) {
 
 // Trace answers the query at each step of the given schedule and returns
 // the successive estimates — the classic online-aggregation progress
-// curve.
-func (p *Progressive) Trace(q engine.Query, steps []int) ([]Answer, error) {
+// curve. ctx is checked once per round, so a canceled caller unwinds
+// between rounds with ctx's error and the rounds completed so far are
+// discarded.
+func (p *Progressive) Trace(ctx context.Context, q engine.Query, steps []int) ([]Answer, error) {
 	var out []Answer
 	for _, add := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p.Step(add)
 		ans, err := p.Answer(q)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestProgressiveShrinkingIntervals(t *testing.T) {
 	tbl := testTable(30000, 80)
 	// Build a cube separately (simulating the warehouse's precomputed
 	// aggregates existing before the online session).
-	built, _, err := Build(tbl, BuildConfig{
+	built, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.01, CellBudget: 15, Seed: 81,
 	})
@@ -26,7 +27,7 @@ func TestProgressiveShrinkingIntervals(t *testing.T) {
 	q := engine.Query{Func: engine.Sum, Col: "a",
 		Ranges: []engine.Range{{Col: "c1", Lo: 17, Hi: 73}}}
 	truth, _ := tbl.Execute(q)
-	answers, err := pg.Trace(q, []int{200, 400, 800, 1600})
+	answers, err := pg.Trace(context.Background(), q, []int{200, 400, 800, 1600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestProgressiveErrors(t *testing.T) {
 
 func TestMinMaxThroughProcessor(t *testing.T) {
 	tbl := testTable(10000, 88)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 		SampleRate: 0.05, CellBudget: 10, Seed: 89, WithMinMax: true,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"aqppp/internal/aqp"
@@ -14,7 +15,7 @@ import (
 // the same sample (φ ∈ P⁺, and the final selection re-checks it).
 func TestAnswerNeverWorseThanAQP(t *testing.T) {
 	tbl := testTable(30000, 90)
-	p, _, err := Build(tbl, BuildConfig{
+	p, _, err := Build(context.Background(), tbl, BuildConfig{
 		Template:   cube.Template{Agg: "a", Dims: []string{"c1", "c2"}},
 		SampleRate: 0.05, CellBudget: 60, Seed: 91,
 	})
@@ -60,7 +61,7 @@ func TestMorePartitionPointsNeverHurt(t *testing.T) {
 			Ranges: []engine.Range{{Col: "c1", Lo: lo, Hi: lo + float64(r.Intn(20)+2)}}})
 	}
 	for ki, k := range []int{5, 20, 80} {
-		p, _, err := Build(tbl, BuildConfig{
+		p, _, err := Build(context.Background(), tbl, BuildConfig{
 			Template:   cube.Template{Agg: "a", Dims: []string{"c1"}},
 			SampleRate: 0.05, CellBudget: k, Seed: 95,
 		})

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"math/bits"
 	"strconv"
+	"sync/atomic"
 )
 
 // This file is the engine's vectorized kernel layer. Instead of walking
@@ -369,6 +371,24 @@ type blockExec struct {
 	ranges []Range
 	cols   []*Column
 	zones  []*zoneMap // nil entry: column below the zone threshold
+	// stop, when non-nil, is polled once per zone block; a true load
+	// aborts the run early (cancellation). It is armed by watch before
+	// any worker starts, so concurrent runs only ever read it.
+	stop *atomic.Bool
+}
+
+// watch arms the executor's cancellation flag against ctx and returns a
+// release function that detaches the watcher. Background-style contexts
+// (Done() == nil) cost nothing: no flag is armed and the per-block check
+// stays a nil test.
+func (e *blockExec) watch(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	var flag atomic.Bool
+	e.stop = &flag
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	return func() { stop() }
 }
 
 // newBlockExec resolves the query's range columns and warms their
@@ -403,7 +423,15 @@ func (t *Table) newBlockExec(ranges []Range) (*blockExec, error) {
 func (e *blockExec) run(lo, hi int, full func(blo, bhi int), partial func(blo, bhi int, words []uint64)) {
 	var scratch [blockWords]uint64
 	straddle := make([]int, 0, len(e.ranges))
+	// Hoist the stop flag: it is armed (or left nil) before run starts
+	// and never reassigned mid-run, so the per-block poll stays a
+	// register nil-test instead of a field load the callbacks could
+	// invalidate.
+	stop := e.stop
 	for blo := lo; blo < hi; blo += zoneBlockSize {
+		if stop != nil && stop.Load() {
+			return
+		}
 		bhi := blo + zoneBlockSize
 		if bhi > hi {
 			bhi = hi

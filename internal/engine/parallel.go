@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -16,6 +17,14 @@ import (
 // are merged in worker (= row) order, so group keys, their first-seen
 // order and their row counts match the serial path exactly.
 func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
+	return t.ExecuteParallelContext(context.Background(), q, workers)
+}
+
+// ExecuteParallelContext is ExecuteParallel with cancellation: every
+// worker polls a shared flag once per zone block, so a canceled (or
+// expired) ctx unwinds the whole scan within about one block chunk and
+// returns ctx's error. An uncancelable context costs nothing.
+func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int) (Result, error) {
 	n := t.NumRows()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,12 +36,14 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		workers = nblocks
 	}
 	if workers <= 1 {
-		return t.Execute(q)
+		return t.ExecuteContext(ctx, q)
 	}
 	e, err := t.newBlockExec(q.Ranges)
 	if err != nil {
 		return Result{}, err
 	}
+	release := e.watch(ctx)
+	defer release()
 	var col *Column
 	if q.Func != Count {
 		col, err = t.Column(q.Col)
@@ -44,7 +55,7 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 	bper := (nblocks + workers - 1) / workers
 	chunk := bper * zoneBlockSize
 	if len(q.GroupBy) > 0 {
-		return t.parallelGroup(q, e, workers, chunk)
+		return t.parallelGroup(ctx, q, e, workers, chunk)
 	}
 	fam := familyOf(q.Func)
 	states := make([]aggState, workers)
@@ -68,6 +79,9 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var total aggState
 	for w := range states {
 		total.merge(&states[w])
@@ -84,7 +98,7 @@ func (t *Table) ExecuteParallel(q Query, workers int) (Result, error) {
 // map fallback) is resolved once and cloned per worker; the per-worker
 // tables are merged in worker order, which concatenates the chunks'
 // first-seen orders back into the serial first-seen order.
-func (t *Table) parallelGroup(q Query, e *blockExec, workers, chunk int) (Result, error) {
+func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, workers, chunk int) (Result, error) {
 	proto, err := newGroupSink(t, q)
 	if err != nil {
 		return Result{}, err
@@ -110,6 +124,9 @@ func (t *Table) parallelGroup(q Query, e *blockExec, workers, chunk int) (Result
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	for _, g := range sinks {
 		if g == nil {
 			continue

@@ -1,6 +1,9 @@
 package engine
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // AggFunc enumerates supported aggregation functions. MIN and MAX are
 // exact-only (the paper notes AQP cannot estimate them; AggPre can).
@@ -133,10 +136,19 @@ type GroupRow struct {
 // classification feeds fused, type-specialized filter+aggregate kernels,
 // so a single-range scan never materializes a full selection bitset.
 func (t *Table) Execute(q Query) (Result, error) {
+	return t.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: a canceled (or expired)
+// ctx aborts the scan at the next zone block and returns ctx's error.
+// An uncancelable context costs nothing on the block path.
+func (t *Table) ExecuteContext(ctx context.Context, q Query) (Result, error) {
 	e, err := t.newBlockExec(q.Ranges)
 	if err != nil {
 		return Result{}, err
 	}
+	release := e.watch(ctx)
+	defer release()
 	n := t.NumRows()
 	if len(q.GroupBy) == 0 {
 		var col *Column
@@ -147,6 +159,9 @@ func (t *Table) Execute(q Query) (Result, error) {
 			}
 		}
 		st := scalarOver(e, col, familyOf(q.Func), 0, n)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		v, err := st.finish(q.Func)
 		return Result{Value: v}, err
 	}
@@ -155,6 +170,9 @@ func (t *Table) Execute(q Query) (Result, error) {
 		return Result{}, err
 	}
 	e.run(0, n, g.addRange, g.addWords)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	rows, err := g.rows()
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aqppp/internal/core"
+	"aqppp/internal/engine"
+)
+
+// Budget bounds one query or preparation a priori. The zero Budget is
+// unlimited. Budgets are enforced by the Executor, not by callers:
+// exceeding any bound yields an Error of kind BudgetExceeded.
+type Budget struct {
+	// Timeout bounds wall time; the executor derives a deadline context
+	// and a query that overruns unwinds at the next cancellation check
+	// (one block chunk, climb step, or resample).
+	Timeout time.Duration
+	// MaxResamples caps bootstrap replicate counts. A plan requesting
+	// more is rejected before any work runs.
+	MaxResamples int
+	// MaxScratchBytes caps the per-query scratch memory the executor
+	// hands to the bootstrap path (index + replicate buffers, reused
+	// across queries through a sync.Pool).
+	MaxScratchBytes int64
+}
+
+// Outcome is the unified result of running a Plan.
+type Outcome struct {
+	// Exact holds the PlanExact result.
+	Exact engine.Result
+	// Answer holds the scalar answer for approx/bootstrap/multi plans.
+	Answer core.Answer
+	// Groups holds per-group answers for GROUP BY approx plans.
+	Groups []core.GroupAnswer
+	// Template is the template index a PlanMulti plan routed to.
+	Template int
+}
+
+// Executor runs Plans. It is safe for concurrent use; scratch buffers
+// are pooled across queries.
+type Executor struct {
+	// Workers bounds PlanExact parallelism when the plan itself does
+	// not set one; <= 1 keeps exact scans serial (bit-identical to
+	// Table.Execute).
+	Workers int
+
+	scratch sync.Pool // *core.BootstrapScratch
+}
+
+// New returns an Executor with serial exact scans.
+func New() *Executor { return &Executor{} }
+
+// Run executes a Plan under the context and budget, returning a
+// classified error on any failure. Cancellation granularity is one
+// zone-block chunk for exact scans, one resample for bootstrap plans,
+// and one group for GROUP BY approx plans.
+func (ex *Executor) Run(ctx context.Context, p *Plan, b Budget) (Outcome, error) {
+	op := p.Kind.String()
+	run, cancel, budgeted := b.bound(ctx)
+	defer cancel()
+	out, err := ex.dispatch(run, p, b)
+	if err != nil {
+		return Outcome{}, classify(ctx, run, op, budgeted, err)
+	}
+	return out, nil
+}
+
+// Prepare runs the preprocessing pipeline (sample, hill-climbed
+// partition points, cube build) under the context and budget; a
+// canceled context unwinds at the next climb step.
+func (ex *Executor) Prepare(ctx context.Context, tbl *engine.Table, cfg core.BuildConfig, b Budget) (*core.Processor, core.BuildStats, error) {
+	run, cancel, budgeted := b.bound(ctx)
+	defer cancel()
+	proc, st, err := core.Build(run, tbl, cfg)
+	if err != nil {
+		return nil, st, classify(ctx, run, "prepare", budgeted, err)
+	}
+	return proc, st, nil
+}
+
+// PrepareMulti builds a multi-template manager under the context and
+// budget.
+func (ex *Executor) PrepareMulti(ctx context.Context, tbl *engine.Table, cfg core.ManagerConfig, b Budget) (*core.Manager, error) {
+	run, cancel, budgeted := b.bound(ctx)
+	defer cancel()
+	mgr, err := core.BuildManager(run, tbl, cfg)
+	if err != nil {
+		return nil, classify(ctx, run, "prepare", budgeted, err)
+	}
+	return mgr, nil
+}
+
+// bound applies the budget's deadline, reporting whether one was
+// imposed. The returned cancel is never nil.
+func (b Budget) bound(ctx context.Context) (context.Context, context.CancelFunc, bool) {
+	if b.Timeout <= 0 {
+		return ctx, func() {}, false
+	}
+	run, cancel := context.WithTimeout(ctx, b.Timeout)
+	return run, cancel, true
+}
+
+func (ex *Executor) dispatch(ctx context.Context, p *Plan, b Budget) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	switch p.Kind {
+	case PlanExact:
+		workers := p.Workers
+		if workers == 0 {
+			workers = ex.Workers
+		}
+		var res engine.Result
+		var err error
+		if workers > 1 {
+			res, err = p.Table.ExecuteParallelContext(ctx, p.Query, workers)
+		} else {
+			res, err = p.Table.ExecuteContext(ctx, p.Query)
+		}
+		return Outcome{Exact: res}, err
+
+	case PlanApprox:
+		if len(p.Query.GroupBy) > 0 {
+			groups, err := p.Proc.AnswerGroups(ctx, p.Query)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Groups: groups}, nil
+		}
+		ans, err := p.Proc.Answer(p.Query)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Answer: ans}, nil
+
+	case PlanBootstrap:
+		resamples := p.Resamples
+		if resamples <= 0 {
+			resamples = core.DefaultResamples
+		}
+		if b.MaxResamples > 0 && resamples > b.MaxResamples {
+			return Outcome{}, &Error{Kind: BudgetExceeded, Op: "bootstrap",
+				Err: fmt.Errorf("%d resamples exceed the budget's cap of %d", resamples, b.MaxResamples)}
+		}
+		sc, release, err := ex.scratchFor(p.Proc.Sample.Size(), b)
+		if err != nil {
+			return Outcome{}, err
+		}
+		defer release()
+		ans, err := p.Proc.AnswerBootstrap(ctx, p.Query, resamples, p.Seed, sc)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Answer: ans}, nil
+
+	case PlanMulti:
+		t := p.Mgr.Route(p.Query)
+		ans, err := p.Mgr.Processors[t].Answer(p.Query)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Answer: ans, Template: t}, nil
+
+	default:
+		return Outcome{}, &Error{Kind: Unsupported, Op: "run", Err: fmt.Errorf("unknown plan kind %v", p.Kind)}
+	}
+}
+
+// scratchFor hands out a pooled bootstrap scratch sized for an n-row
+// sample, enforcing the budget's scratch cap. release returns the
+// buffers to the pool.
+func (ex *Executor) scratchFor(n int, b Budget) (*core.BootstrapScratch, func(), error) {
+	need := core.BootstrapScratchBytes(n)
+	if b.MaxScratchBytes > 0 && need > b.MaxScratchBytes {
+		return nil, nil, &Error{Kind: BudgetExceeded, Op: "bootstrap",
+			Err: fmt.Errorf("bootstrap needs %d scratch bytes, budget caps at %d", need, b.MaxScratchBytes)}
+	}
+	sc, _ := ex.scratch.Get().(*core.BootstrapScratch)
+	if sc == nil {
+		sc = &core.BootstrapScratch{}
+	}
+	sc.Grow(n)
+	return sc, func() { ex.scratch.Put(sc) }, nil
+}

@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"fmt"
+
+	"aqppp/internal/core"
+	"aqppp/internal/engine"
+	"aqppp/internal/sql"
+)
+
+// PlanKind selects the answer path a Plan runs.
+type PlanKind uint8
+
+const (
+	// PlanExact scans the full table (serial by default; Workers > 1
+	// parallelizes with block-aligned chunks).
+	PlanExact PlanKind = iota
+	// PlanApprox answers through one Prepared template's AQP++
+	// processor (closed-form intervals).
+	PlanApprox
+	// PlanBootstrap answers through a processor with an empirical
+	// bootstrap interval.
+	PlanBootstrap
+	// PlanMulti routes the query across a multi-template manager.
+	PlanMulti
+)
+
+// String implements fmt.Stringer.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanExact:
+		return "exact"
+	case PlanApprox:
+		return "query"
+	case PlanBootstrap:
+		return "bootstrap"
+	case PlanMulti:
+		return "multi"
+	default:
+		return fmt.Sprintf("PlanKind(%d)", uint8(k))
+	}
+}
+
+// Plan is the executor's IR: what to run, fully resolved — the concrete
+// table, the compiled predicate, and the processor or manager that will
+// answer. Plans are built by the Plan* constructors (which own the
+// parse/resolve/compile error classification) and run by Executor.Run.
+type Plan struct {
+	Kind  PlanKind
+	Table *engine.Table
+	Query engine.Query
+	// Proc answers PlanApprox and PlanBootstrap plans.
+	Proc *core.Processor
+	// Mgr answers PlanMulti plans.
+	Mgr *core.Manager
+	// Resamples is the bootstrap replicate count (<= 0 selects the
+	// default of 200); checked against Budget.MaxResamples at run time.
+	Resamples int
+	// Seed drives bootstrap resampling.
+	Seed uint64
+	// Workers bounds PlanExact parallelism; <= 1 runs the serial path
+	// (bit-identical to Table.Execute).
+	Workers int
+}
+
+// TableSource resolves table names for PlanExact. *aqppp.DB implements
+// it; any registry can.
+type TableSource interface {
+	LookupTable(name string) (*engine.Table, bool)
+}
+
+// PlanExactStatement parses a statement, resolves its table against src
+// and compiles the predicate into an exact-scan plan.
+func PlanExactStatement(src TableSource, statement string) (*Plan, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return nil, &Error{Kind: Parse, Op: "exact", Err: err}
+	}
+	tbl, ok := src.LookupTable(st.Table)
+	if !ok {
+		return nil, &Error{Kind: UnknownTable, Op: "exact", Err: fmt.Errorf("no table %q", st.Table)}
+	}
+	q, err := sql.Compile(st, tbl)
+	if err != nil {
+		return nil, &Error{Kind: Parse, Op: "exact", Err: err}
+	}
+	return &Plan{Kind: PlanExact, Table: tbl, Query: q}, nil
+}
+
+// PlanQueryStatement compiles a statement against a prepared
+// processor's table into an AQP++ plan.
+func PlanQueryStatement(proc *core.Processor, tbl *engine.Table, statement string) (*Plan, error) {
+	q, err := compileFor("query", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanApprox, Table: tbl, Query: q, Proc: proc}, nil
+}
+
+// PlanQueryStruct wraps an already-compiled engine.Query into an AQP++
+// plan (the advanced-use path that skips SQL).
+func PlanQueryStruct(proc *core.Processor, tbl *engine.Table, q engine.Query) *Plan {
+	return &Plan{Kind: PlanApprox, Table: tbl, Query: q, Proc: proc}
+}
+
+// PlanBootstrapStatement compiles a statement into a bootstrap plan.
+func PlanBootstrapStatement(proc *core.Processor, tbl *engine.Table, statement string, resamples int, seed uint64) (*Plan, error) {
+	q, err := compileFor("bootstrap", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanBootstrap, Table: tbl, Query: q, Proc: proc, Resamples: resamples, Seed: seed}, nil
+}
+
+// PlanMultiStatement compiles a statement into a multi-template plan.
+func PlanMultiStatement(mgr *core.Manager, tbl *engine.Table, statement string) (*Plan, error) {
+	q, err := compileFor("multi", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanMulti, Table: tbl, Query: q, Mgr: mgr}, nil
+}
+
+// compileFor parses and compiles a statement against a single known
+// table, classifying a table mismatch as UnknownTable and everything
+// else the parser or compiler rejects as Parse.
+func compileFor(op string, tbl *engine.Table, statement string) (engine.Query, error) {
+	st, err := sql.Parse(statement)
+	if err != nil {
+		return engine.Query{}, &Error{Kind: Parse, Op: op, Err: err}
+	}
+	if st.Table != tbl.Name {
+		return engine.Query{}, &Error{Kind: UnknownTable, Op: op,
+			Err: fmt.Errorf("prepared for table %q, statement targets %q", tbl.Name, st.Table)}
+	}
+	q, err := sql.Compile(st, tbl)
+	if err != nil {
+		return engine.Query{}, &Error{Kind: Parse, Op: op, Err: err}
+	}
+	return q, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -69,7 +70,7 @@ func (r *AblationReport) String() string {
 }
 
 // RunAblations runs the three studies on TPCD-Skew.
-func RunAblations(sc Scale) (*AblationReport, error) {
+func RunAblations(ctx context.Context, sc Scale) (*AblationReport, error) {
 	rep := &AblationReport{Scale: sc}
 	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: sc.TPCDRows, Seed: sc.Seed})
 	s, err := sample.NewUniform(tbl, sc.SampleRate, sc.Seed+101)
@@ -91,7 +92,7 @@ func RunAblations(sc Scale) (*AblationReport, error) {
 		k1 = 10
 	}
 	for _, eqOnly := range []bool{true, false} {
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: k1, Seed: sc.Seed + 103,
 			PrebuiltSample: s, EqualPartitionOnly: eqOnly,
 		})
@@ -110,7 +111,7 @@ func RunAblations(sc Scale) (*AblationReport, error) {
 	}
 
 	// --- P⁻ vs brute force over P⁺ (small 1-D cube so P⁺ is tractable) ---
-	smallCube, _, err := core.Build(tbl, core.BuildConfig{
+	smallCube, _, err := core.Build(ctx, tbl, core.BuildConfig{
 		Template:   cube.Template{Agg: "l_extendedprice", Dims: []string{"l_orderkey"}},
 		CellBudget: 8, Seed: sc.Seed + 104, PrebuiltSample: s,
 	})
@@ -163,7 +164,7 @@ func RunAblations(sc Scale) (*AblationReport, error) {
 		return nil, err
 	}
 	for _, rate := range []float64{0.02, 0.0625, 0.25, 1.0} {
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl2, CellBudget: sc.K, Seed: sc.Seed + 108,
 			PrebuiltSample: s, SubsampleRate: rate,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 // fast; the full-scale runs live in bench_test.go and cmd/aqppp-bench.
 
 func TestRunTable1Small(t *testing.T) {
-	rep, err := RunTable1(Small())
+	rep, err := RunTable1(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunTable1Small(t *testing.T) {
 }
 
 func TestRunFigure7Small(t *testing.T) {
-	rep, err := RunFigure7(Small(), 3)
+	rep, err := RunFigure7(context.Background(), Small(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRunFigure7Small(t *testing.T) {
 }
 
 func TestRunFigure8Small(t *testing.T) {
-	rep, err := RunFigure8(Small())
+	rep, err := RunFigure8(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRunFigure8Small(t *testing.T) {
 }
 
 func TestRunFigure9Small(t *testing.T) {
-	rep, err := RunFigure9(Small(), 4)
+	rep, err := RunFigure9(context.Background(), Small(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRunFigure9Small(t *testing.T) {
 }
 
 func TestRunFigure10aSmall(t *testing.T) {
-	rep, err := RunFigure10a(Small(), []int{20, 80})
+	rep, err := RunFigure10a(context.Background(), Small(), []int{20, 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestRunFigure10aSmall(t *testing.T) {
 }
 
 func TestRunFigure10bSmall(t *testing.T) {
-	rep, err := RunFigure10b(Small())
+	rep, err := RunFigure10b(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRunFigure10bSmall(t *testing.T) {
 }
 
 func TestRunFigure11aSmall(t *testing.T) {
-	rep, err := RunFigure11a(Small(), []int{30, 120})
+	rep, err := RunFigure11a(context.Background(), Small(), []int{30, 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestRunFigure11aSmall(t *testing.T) {
 }
 
 func TestRunFigure11bSmall(t *testing.T) {
-	rep, err := RunFigure11b(Small(), 3)
+	rep, err := RunFigure11b(context.Background(), Small(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestComparisonHelpers(t *testing.T) {
 }
 
 func TestRunAblationsSmall(t *testing.T) {
-	rep, err := RunAblations(Small())
+	rep, err := RunAblations(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestRunAblationsSmall(t *testing.T) {
 }
 
 func TestRunWaveletStudySmall(t *testing.T) {
-	rep, err := RunWaveletStudy(Small(), []int{16, 64})
+	rep, err := RunWaveletStudy(context.Background(), Small(), []int{16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestRunWaveletStudySmall(t *testing.T) {
 }
 
 func TestAblationsWorkloadDriven(t *testing.T) {
-	rep, err := RunAblations(Small())
+	rep, err := RunAblations(context.Background(), Small())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,7 +51,7 @@ func (r *Figure10aReport) String() string {
 // the workload to outlier-covering queries (median + 3·SD, §7.4), and
 // sweeps the cube budget over ks (nil selects the paper-shaped sweep
 // k/20 … k/2 relative to sc.K·10, mirroring 1000…10000 vs k=50000).
-func RunFigure10a(sc Scale, ks []int) (*Figure10aReport, error) {
+func RunFigure10a(ctx context.Context, sc Scale, ks []int) (*Figure10aReport, error) {
 	if len(ks) == 0 {
 		base := sc.K
 		ks = []int{base / 20, base / 10, base / 5, base / 2}
@@ -84,7 +85,7 @@ func RunFigure10a(sc Scale, ks []int) (*Figure10aReport, error) {
 	}
 	report := &Figure10aReport{Scale: sc, Queries: len(queries)}
 	for _, k := range ks {
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: k, Seed: sc.Seed + 43,
 			PrebuiltSample: s,
 		})
@@ -146,7 +147,7 @@ func (r *Figure10bReport) String() string {
 // generates group-by range queries over (l_orderkey, l_suppkey), and
 // compares per-group median errors. The BP-Cube treats the group-by
 // attributes as extra cube dimensions (Appendix C).
-func RunFigure10b(sc Scale) (*Figure10bReport, error) {
+func RunFigure10b(ctx context.Context, sc Scale) (*Figure10bReport, error) {
 	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: sc.TPCDRows, Seed: sc.Seed})
 	groupBy := []string{"l_returnflag", "l_linestatus"}
 	tmpl := cube.Template{Agg: "l_extendedprice", Dims: []string{"l_orderkey", "l_suppkey"}}
@@ -163,7 +164,7 @@ func RunFigure10b(sc Scale) (*Figure10bReport, error) {
 	}
 	// Cube dims: condition attributes plus the group-by attributes.
 	cubeTmpl := cube.Template{Agg: tmpl.Agg, Dims: append(append([]string(nil), tmpl.Dims...), groupBy...)}
-	proc, _, err := core.Build(tbl, core.BuildConfig{
+	proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 		Template: cubeTmpl, CellBudget: sc.K, Seed: sc.Seed + 53,
 		PrebuiltSample: s,
 	})
@@ -190,7 +191,7 @@ func RunFigure10b(sc Scale) (*Figure10bReport, error) {
 				perGroupAQP[ge.Key] = append(perGroupAQP[ge.Key], clampErr(ge.Est.RelativeError(tv)))
 			}
 		}
-		ppGroups, err := proc.AnswerGroups(q)
+		ppGroups, err := proc.AnswerGroups(ctx, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,7 @@ func (r *Figure11aReport) String() string {
 // RunFigure11a sweeps the cube budget on BigBench (nil ks selects a
 // geometric sweep up to 2·sc.K, mirroring the paper's 10k…100k around
 // k=50000).
-func RunFigure11a(sc Scale, ks []int) (*Figure11aReport, error) {
+func RunFigure11a(ctx context.Context, sc Scale, ks []int) (*Figure11aReport, error) {
 	if len(ks) == 0 {
 		ks = []int{sc.K / 4, sc.K / 2, sc.K, sc.K * 2}
 		for i := range ks {
@@ -67,7 +68,7 @@ func RunFigure11a(sc Scale, ks []int) (*Figure11aReport, error) {
 	}
 	report := &Figure11aReport{Scale: sc}
 	for _, k := range ks {
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: k, Seed: sc.Seed + 63,
 			PrebuiltSample: s,
 		})
@@ -127,7 +128,7 @@ func (r *Figure11bReport) String() string {
 
 // RunFigure11b runs the nested TLCTrip templates d = 1..maxDims
 // (maxDims <= 0 runs all ten).
-func RunFigure11b(sc Scale, maxDims int) (*Figure11bReport, error) {
+func RunFigure11b(ctx context.Context, sc Scale, maxDims int) (*Figure11bReport, error) {
 	if maxDims <= 0 || maxDims > len(tlcDimOrder) {
 		maxDims = len(tlcDimOrder)
 	}
@@ -145,7 +146,7 @@ func RunFigure11b(sc Scale, maxDims int) (*Figure11bReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: sc.K, Seed: sc.Seed + uint64(90+d),
 			PrebuiltSample: s,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -66,7 +67,7 @@ func (r *Figure7Report) String() string {
 // RunFigure7 builds the d = 1..maxDims nested templates and measures
 // preprocessing time, response time, and median error for AQP and AQP++.
 // maxDims <= 0 runs all ten.
-func RunFigure7(sc Scale, maxDims int) (*Figure7Report, error) {
+func RunFigure7(ctx context.Context, sc Scale, maxDims int) (*Figure7Report, error) {
 	if maxDims <= 0 || maxDims > len(tpcdDimOrder) {
 		maxDims = len(tpcdDimOrder)
 	}
@@ -90,7 +91,7 @@ func RunFigure7(sc Scale, maxDims int) (*Figure7Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		proc, bst, err := core.Build(tbl, core.BuildConfig{
+		proc, bst, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: sc.K, Seed: sc.Seed + uint64(20+d),
 			PrebuiltSample: s,
 		})

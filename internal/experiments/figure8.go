@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -61,7 +62,7 @@ func traceString(tr []float64) string {
 // [SUM(l_extendedprice), l_shipdate, l_commitdate] — the attributes the
 // generator correlates with price — with k1 = k2 = k per dimension
 // (paper: 200, scaled by sc.K/10 here, min 25).
-func RunFigure8(sc Scale) (*Figure8Report, error) {
+func RunFigure8(ctx context.Context, sc Scale) (*Figure8Report, error) {
 	k := sc.K / 10
 	if k < 25 {
 		k = 25
@@ -84,13 +85,13 @@ func RunFigure8(sc Scale) (*Figure8Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		global, err := precompute.HillClimb(v, init, precompute.ClimbConfig{
+		global, err := precompute.HillClimb(ctx, v, init, precompute.ClimbConfig{
 			Mode: precompute.Global, MaxIterations: 100,
 		})
 		if err != nil {
 			return nil, err
 		}
-		local, err := precompute.HillClimb(v, init, precompute.ClimbConfig{
+		local, err := precompute.HillClimb(ctx, v, init, precompute.ClimbConfig{
 			Mode: precompute.Local, MaxIterations: 100,
 		})
 		if err != nil {

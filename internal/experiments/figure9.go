@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func (r *Figure9Report) String() string {
 // queries from Q4..Q6 carry conditions on columns outside the cube, which
 // the pre simply cannot restrict (the k1×k2×1 view of §7.3). maxDims <= 0
 // runs all six templates.
-func RunFigure9(sc Scale, maxDims int) (*Figure9Report, error) {
+func RunFigure9(ctx context.Context, sc Scale, maxDims int) (*Figure9Report, error) {
 	if maxDims <= 0 || maxDims > len(figure9DimOrder) {
 		maxDims = len(figure9DimOrder)
 	}
@@ -65,7 +66,7 @@ func RunFigure9(sc Scale, maxDims int) (*Figure9Report, error) {
 		return nil, err
 	}
 	cubeTmpl := cube.Template{Agg: "l_extendedprice", Dims: figure9DimOrder[:3]}
-	proc, _, err := core.Build(tbl, core.BuildConfig{
+	proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 		Template: cubeTmpl, CellBudget: sc.K, Seed: sc.Seed + 3,
 		PrebuiltSample: s,
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -80,7 +81,7 @@ func formatBytes(b int64) string {
 // RunTable1 reproduces Table 1: AQP vs AggPre vs AQP++ on TPCD-Skew with
 // the template [SUM(l_extendedprice), l_orderkey, l_suppkey], plus the
 // AQP(large) and APA+ rows discussed in §7.2.
-func RunTable1(sc Scale) (*Table1Report, error) {
+func RunTable1(ctx context.Context, sc Scale) (*Table1Report, error) {
 	tbl := dataset.TPCDSkew(dataset.TPCDConfig{Rows: sc.TPCDRows, Seed: sc.Seed})
 	tmpl := cube.Template{Agg: "l_extendedprice", Dims: []string{"l_orderkey", "l_suppkey"}}
 	queries, err := workload.Generate(tbl, workload.Config{
@@ -134,7 +135,7 @@ func RunTable1(sc Scale) (*Table1Report, error) {
 	})
 
 	// --- AQP++ ---
-	proc, bst, err := core.Build(tbl, core.BuildConfig{
+	proc, bst, err := core.Build(ctx, tbl, core.BuildConfig{
 		Template: tmpl, CellBudget: sc.K, Seed: sc.Seed + 3,
 		PrebuiltSample: s,
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -53,7 +54,7 @@ func (r *WaveletReport) String() string {
 }
 
 // RunWaveletStudy sweeps storage budgets on the TPCD-Skew 1-D template.
-func RunWaveletStudy(sc Scale, budgets []int) (*WaveletReport, error) {
+func RunWaveletStudy(ctx context.Context, sc Scale, budgets []int) (*WaveletReport, error) {
 	if len(budgets) == 0 {
 		budgets = []int{sc.K / 20, sc.K / 5, sc.K}
 		for i := range budgets {
@@ -76,7 +77,7 @@ func RunWaveletStudy(sc Scale, budgets []int) (*WaveletReport, error) {
 	}
 	report := &WaveletReport{Scale: sc}
 	for _, cells := range budgets {
-		proc, _, err := core.Build(tbl, core.BuildConfig{
+		proc, _, err := core.Build(ctx, tbl, core.BuildConfig{
 			Template: tmpl, CellBudget: cells, Seed: sc.Seed + 203,
 			PrebuiltSample: s,
 		})

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFirstRule enforces the repo's cancellation-plumbing convention:
+// a context.Context travels as the first parameter of the function that
+// uses it, and is never stored in a struct field. A context in any
+// other parameter slot hides the cancellation path from readers; a
+// stored context outlives the call it was scoped to, silently pinning
+// an old deadline (or an old SIGINT registration) to every later use.
+// Types that must trigger work per statement hold a factory
+// (func() (context.Context, context.CancelFunc)) instead — see
+// repl.Session.
+type CtxFirstRule struct{}
+
+// Name implements Rule.
+func (CtxFirstRule) Name() string { return "ctx-first" }
+
+// Check implements Rule.
+func (CtxFirstRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				// Covers FuncDecl and FuncLit signatures, interface
+				// methods, and func type declarations alike.
+				checkCtxParams(pkg, n.Params, report)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if isContextExpr(pkg, field.Type) {
+						report(field.Type.Pos(),
+							"struct field stores a context.Context; pass it per call (or hold a context factory)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports context.Context parameters that are not the
+// function's first parameter.
+func checkCtxParams(pkg *Package, params *ast.FieldList, report func(pos token.Pos, msg string)) {
+	if params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies one slot
+		}
+		if isContextExpr(pkg, field.Type) && idx != 0 {
+			report(field.Type.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+// isContextExpr reports whether the expression's type is exactly
+// context.Context.
+func isContextExpr(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

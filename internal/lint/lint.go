@@ -19,6 +19,8 @@
 //   - panic:             panic(...) in library (non-main) packages
 //   - goroutine-capture: go-closures capturing enclosing loop variables
 //   - mutex-copy:        by-value copies of types containing sync locks
+//   - ctx-first:         context.Context parameters that are not first,
+//     and contexts stored in struct fields
 //
 // To add a rule, create a new file implementing Rule and append it in
 // Rules. To suppress a finding, add a line to the allowlist file (see
@@ -89,6 +91,7 @@ func Rules() []Rule {
 		PanicRule{},
 		GoroutineCaptureRule{},
 		MutexCopyRule{},
+		CtxFirstRule{},
 	}
 }
 

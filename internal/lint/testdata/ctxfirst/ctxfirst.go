@@ -1,0 +1,47 @@
+// Package ctxfirst is seeded testdata for the ctx-first rule.
+package ctxfirst
+
+import "context"
+
+// Lookup takes its context in the middle of the parameter list.
+func Lookup(name string, ctx context.Context) error { // want ctx-first
+	return ctx.Err()
+}
+
+// Trailer takes its context last, after two value parameters.
+func Trailer(a, b int, ctx context.Context) int { // want ctx-first
+	_ = ctx
+	return a + b
+}
+
+// Handler is a func type with a misplaced context.
+type Handler func(msg string, ctx context.Context) // want ctx-first
+
+// Doer is an interface whose method hides the context mid-signature.
+type Doer interface {
+	Do(id int, ctx context.Context) error // want ctx-first
+}
+
+// Session stores a context in a struct field, pinning one deadline to
+// every later call.
+type Session struct {
+	ctx  context.Context // want ctx-first
+	name string
+}
+
+// Run closes over a funclit with a misplaced context.
+func Run() {
+	f := func(n int, ctx context.Context) { _ = ctx } // want ctx-first
+	f(1, context.Background())
+}
+
+// Good is the accepted form: context first, nothing stored.
+func Good(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+// Factory is the accepted alternative to a stored context: the struct
+// holds a constructor, so every call gets a fresh context.
+type Factory struct {
+	newContext func() (context.Context, context.CancelFunc)
+}

@@ -1,0 +1,29 @@
+package precompute
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCancelHillClimb: a pre-canceled context unwinds the climber, the
+// 1-D optimizer and the profile builder with context.Canceled before
+// any iteration runs.
+func TestCancelHillClimb(t *testing.T) {
+	v := iidView(2000, 3)
+	init, err := EqualPartition(v, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := HillClimb(ctx, v, init, ClimbConfig{Mode: Global}); !errors.Is(err, context.Canceled) {
+		t.Errorf("HillClimb err = %v, want context.Canceled", err)
+	}
+	if _, err := Optimize1D(ctx, v, 10, ClimbConfig{Mode: Global}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Optimize1D err = %v, want context.Canceled", err)
+	}
+	if _, err := BuildProfile(ctx, v, 100, 4, ClimbConfig{Mode: Global}); !errors.Is(err, context.Canceled) {
+		t.Errorf("BuildProfile err = %v, want context.Canceled", err)
+	}
+}

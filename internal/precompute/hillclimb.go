@@ -1,6 +1,7 @@
 package precompute
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -111,7 +112,10 @@ type ClimbConfig struct {
 // error_up; the move is kept only if error_up strictly decreases
 // (§6.1.2(3)-(4)). The final cut at position n is never moved (footnote
 // 5: the full prefix is always kept).
-func HillClimb(v *View, initial []int, cfg ClimbConfig) (ClimbResult, error) {
+//
+// ctx is checked once per climb step, so a canceled Prepare unwinds
+// within one iteration and returns ctx's error.
+func HillClimb(ctx context.Context, v *View, initial []int, cfg ClimbConfig) (ClimbResult, error) {
 	n := v.Len()
 	if len(initial) == 0 || initial[len(initial)-1] != n {
 		return ClimbResult{}, fmt.Errorf("precompute: initial cuts must end at n=%d", n)
@@ -126,6 +130,9 @@ func HillClimb(v *View, initial []int, cfg ClimbConfig) (ClimbResult, error) {
 	const eps = 1e-12
 
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return ClimbResult{}, err
+		}
 		_, _, i1, i2 := worstTwo(v, cuts)
 		removable := removalCandidates(v, cuts, i1, i2, cfg.Mode)
 		if len(removable) == 0 {
@@ -273,10 +280,10 @@ func containsInt(xs []int, v int) bool {
 
 // Optimize1D runs the full 1-D pipeline: equal-partition initialization
 // (feasibility-snapped) followed by hill climbing.
-func Optimize1D(v *View, k int, cfg ClimbConfig) (ClimbResult, error) {
+func Optimize1D(ctx context.Context, v *View, k int, cfg ClimbConfig) (ClimbResult, error) {
 	init, err := EqualPartition(v, k)
 	if err != nil {
 		return ClimbResult{}, err
 	}
-	return HillClimb(v, init, cfg)
+	return HillClimb(ctx, v, init, cfg)
 }

@@ -1,6 +1,7 @@
 package precompute
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -166,7 +167,7 @@ func TestHillClimbNeverWorsens(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := HillClimb(v, init, ClimbConfig{Mode: Global})
+		res, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Global})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func TestHillClimbImprovesOnCorrelatedData(t *testing.T) {
 	v := correlatedView(800, 11)
 	init, _ := EqualPartition(v, 8)
 	initErr := ErrorUp(v, init)
-	res, err := HillClimb(v, init, ClimbConfig{Mode: Global})
+	res, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Global})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +217,11 @@ func TestGlobalBeatsLocal(t *testing.T) {
 	for seed := uint64(0); seed < 5; seed++ {
 		v := correlatedView(600, 100+seed)
 		init, _ := EqualPartition(v, 10)
-		g, err := HillClimb(v, init, ClimbConfig{Mode: Global})
+		g, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Global})
 		if err != nil {
 			t.Fatal(err)
 		}
-		l, err := HillClimb(v, init, ClimbConfig{Mode: Local})
+		l, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Local})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,10 +238,10 @@ func TestGlobalBeatsLocal(t *testing.T) {
 
 func TestHillClimbValidation(t *testing.T) {
 	v := iidView(50, 12)
-	if _, err := HillClimb(v, []int{10, 20}, ClimbConfig{}); err == nil {
+	if _, err := HillClimb(context.Background(), v, []int{10, 20}, ClimbConfig{}); err == nil {
 		t.Error("cuts not ending at n accepted")
 	}
-	if _, err := HillClimb(v, nil, ClimbConfig{}); err == nil {
+	if _, err := HillClimb(context.Background(), v, nil, ClimbConfig{}); err == nil {
 		t.Error("empty cuts accepted")
 	}
 }
@@ -248,7 +249,7 @@ func TestHillClimbValidation(t *testing.T) {
 func TestHillClimbIterationCap(t *testing.T) {
 	v := correlatedView(400, 13)
 	init, _ := EqualPartition(v, 8)
-	res, err := HillClimb(v, init, ClimbConfig{Mode: Global, MaxIterations: 2})
+	res, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Global, MaxIterations: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestOptimize1DOnNearOptimalStaysPut(t *testing.T) {
 	v := iidView(1000, 14)
 	init, _ := EqualPartition(v, 10)
 	initErr := ErrorUp(v, init)
-	res, err := Optimize1D(v, 10, ClimbConfig{Mode: Global})
+	res, err := Optimize1D(context.Background(), v, 10, ClimbConfig{Mode: Global})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package precompute
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // BenchmarkPositionErrors measures the O(n) error_i sweep.
 func BenchmarkPositionErrors(b *testing.B) {
@@ -25,7 +28,7 @@ func BenchmarkHillClimbGlobal(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := HillClimb(v, init, ClimbConfig{Mode: Global, MaxIterations: 30}); err != nil {
+		if _, err := HillClimb(context.Background(), v, init, ClimbConfig{Mode: Global, MaxIterations: 30}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,7 +39,7 @@ func BenchmarkBuildProfile(b *testing.B) {
 	v := iidView(2000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BuildProfile(v, 200, 6, ClimbConfig{Mode: Global, MaxIterations: 15}); err != nil {
+		if _, err := BuildProfile(context.Background(), v, 200, 6, ClimbConfig{Mode: Global, MaxIterations: 15}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package precompute
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,7 +27,7 @@ type Profile struct {
 // climbing on the view) and returns an interpolable profile. The paper
 // uses m = 20 anchors by default; small m keeps stage 1 cheap because
 // everything runs on the sample.
-func BuildProfile(v *View, maxK, anchors int, cfg ClimbConfig) (*Profile, error) {
+func BuildProfile(ctx context.Context, v *View, maxK, anchors int, cfg ClimbConfig) (*Profile, error) {
 	if maxK < 1 {
 		return nil, fmt.Errorf("precompute: maxK = %d", maxK)
 	}
@@ -40,7 +41,7 @@ func BuildProfile(v *View, maxK, anchors int, cfg ClimbConfig) (*Profile, error)
 	ks := anchorBudgets(maxK, anchors)
 	p := &Profile{MaxK: distinct}
 	for _, k := range ks {
-		res, err := Optimize1D(v, k, cfg)
+		res, err := Optimize1D(ctx, v, k, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package precompute
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestBuildProfileMonotone(t *testing.T) {
 	v := iidView(800, 20)
-	p, err := BuildProfile(v, 100, 6, ClimbConfig{Mode: Global, MaxIterations: 20})
+	p, err := BuildProfile(context.Background(), v, 100, 6, ClimbConfig{Mode: Global, MaxIterations: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +148,11 @@ func TestDetermineShapeOnRealViews(t *testing.T) {
 	v1 := NewViewFromSlices(a1, c, n*10, 0.95)
 	v2 := NewViewFromSlices(a2, c, n*10, 0.95)
 	cfg := ClimbConfig{Mode: Global, MaxIterations: 10}
-	p1, err := BuildProfile(v1, 200, 5, cfg)
+	p1, err := BuildProfile(context.Background(), v1, 200, 5, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := BuildProfile(v2, 200, 5, cfg)
+	p2, err := BuildProfile(context.Background(), v2, 200, 5, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

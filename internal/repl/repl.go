@@ -6,6 +6,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -22,11 +23,37 @@ type Session struct {
 	DB       *aqppp.DB
 	Table    *engine.Table
 	Prepared *aqppp.Prepared
+	// Timeout bounds each statement's wall time; 0 means unlimited. A
+	// statement that overruns prints a budget/cancel error like any
+	// other failure.
+	Timeout time.Duration
+	// NewContext, when set, supplies the base context for each
+	// statement; the CLI wires it to SIGINT so Ctrl-C aborts the running
+	// query instead of the shell. Nil means context.Background. The
+	// session holds a factory rather than a context so every statement
+	// gets a fresh one.
+	NewContext func() (context.Context, context.CancelFunc)
 }
 
 // NewSession wraps an already-prepared database.
 func NewSession(db *aqppp.DB, tbl *engine.Table, prep *aqppp.Prepared) *Session {
 	return &Session{DB: db, Table: tbl, Prepared: prep}
+}
+
+// statementContext builds the context one statement runs under: the
+// session's base factory (or Background) bounded by the session
+// timeout.
+func (s *Session) statementContext() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if s.NewContext != nil {
+		ctx, cancel = s.NewContext()
+	}
+	if s.Timeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, s.Timeout)
+		base := cancel
+		return tctx, func() { tcancel(); base() }
+	}
+	return ctx, cancel
 }
 
 // Run reads commands from r line by line, writing responses to w, until
@@ -91,8 +118,10 @@ func (s *Session) printStats(w io.Writer) {
 }
 
 func (s *Session) runApprox(w io.Writer, stmt string) {
+	ctx, cancel := s.statementContext()
+	defer cancel()
 	t0 := time.Now()
-	res, err := s.Prepared.Query(stmt)
+	res, err := s.Prepared.QueryContext(ctx, stmt)
 	el := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
@@ -126,8 +155,10 @@ func (s *Session) runAQP(w io.Writer, stmt string) {
 }
 
 func (s *Session) runExact(w io.Writer, stmt string) {
+	ctx, cancel := s.statementContext()
+	defer cancel()
 	t0 := time.Now()
-	res, err := s.DB.Exact(stmt)
+	res, err := s.DB.ExactContext(ctx, stmt)
 	el := time.Since(t0)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)

@@ -28,6 +28,13 @@ go run ./cmd/aqppp-lint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> cancellation flake hunt (-race -run Cancel -count=5)"
+# Cancellation is inherently racy machinery: a stop flag armed by
+# context.AfterFunc, polled by scan/climb/resample loops. Run the
+# TestCancel* suite five times under the race detector to shake out
+# ordering-dependent flakes before they reach CI.
+go test -race -run Cancel -count=5 ./...
+
 echo "==> engine bench smoke (benchtime 1x)"
 # One iteration per benchmark: catches kernel-path panics/regressions in
 # the benchmark fixtures without turning the gate into a perf run. The
