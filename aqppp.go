@@ -136,11 +136,13 @@ func (db *DB) Drop(name string) {
 	delete(db.preps, name)
 }
 
-// Table returns a registered table.
+// Table returns a registered table. The failure carries the
+// ErrUnknownTable kind, so Prepare on a missing table classifies the
+// same way a query on one does.
 func (db *DB) Table(name string) (*engine.Table, error) {
 	t, ok := db.LookupTable(name)
 	if !ok {
-		return nil, fmt.Errorf("aqppp: no table %q", name)
+		return nil, &exec.Error{Kind: exec.UnknownTable, Op: "table", Err: fmt.Errorf("no table %q", name)}
 	}
 	return t, nil
 }
@@ -167,7 +169,15 @@ func (db *DB) TableNames() []string {
 
 // LoadCSV reads a CSV (with header) into a new registered table.
 func (db *DB) LoadCSV(name string, r io.Reader) (*engine.Table, error) {
-	tbl, err := engine.ReadCSV(name, r)
+	return db.LoadCSVContext(context.Background(), name, r)
+}
+
+// LoadCSVContext is LoadCSV with cancellation: the reader checks ctx
+// once per row batch, so a canceled context (e.g. an aborted upload
+// request) unwinds the load within one batch instead of parsing the
+// rest of the file.
+func (db *DB) LoadCSVContext(ctx context.Context, name string, r io.Reader) (*engine.Table, error) {
+	tbl, err := engine.ReadCSVContext(ctx, name, r)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +189,13 @@ func (db *DB) LoadCSV(name string, r io.Reader) (*engine.Table, error) {
 
 // LoadBinary reads a table in the engine's binary format and registers it.
 func (db *DB) LoadBinary(r io.Reader) (*engine.Table, error) {
-	tbl, err := engine.ReadBinary(r)
+	return db.LoadBinaryContext(context.Background(), r)
+}
+
+// LoadBinaryContext is LoadBinary with cancellation, at the same
+// per-row-batch granularity as LoadCSVContext.
+func (db *DB) LoadBinaryContext(ctx context.Context, r io.Reader) (*engine.Table, error) {
+	tbl, err := engine.ReadBinaryContext(ctx, r)
 	if err != nil {
 		return nil, err
 	}
@@ -198,11 +214,19 @@ func (db *DB) Exact(statement string) (engine.Result, error) {
 // ExactContext is Exact with cancellation: the scan checks ctx once per
 // zone block, so a canceled context unwinds within one block.
 func (db *DB) ExactContext(ctx context.Context, statement string) (engine.Result, error) {
+	return db.ExactWithBudget(ctx, statement, db.defaultBudget())
+}
+
+// ExactWithBudget is ExactContext with an explicit per-call Budget that
+// replaces the DB-wide default for this one statement. A serving layer
+// uses it to map a per-request deadline onto the executor's budget, so
+// an overrun classifies as ErrBudgetExceeded rather than ErrCanceled.
+func (db *DB) ExactWithBudget(ctx context.Context, statement string, b Budget) (engine.Result, error) {
 	p, err := exec.PlanExactStatement(db, statement)
 	if err != nil {
 		return engine.Result{}, err
 	}
-	out, err := db.ex.Run(ctx, p, db.defaultBudget())
+	out, err := db.ex.Run(ctx, p, b)
 	if err != nil {
 		return engine.Result{}, err
 	}
@@ -263,6 +287,13 @@ func (db *DB) Prepare(opts PrepareOptions) (*Prepared, error) {
 // ctx once per climb step, so a canceled context unwinds the build
 // within one iteration.
 func (db *DB) PrepareContext(ctx context.Context, opts PrepareOptions) (*Prepared, error) {
+	return db.PrepareWithBudget(ctx, opts, db.defaultBudget())
+}
+
+// PrepareWithBudget is PrepareContext with an explicit per-call Budget
+// replacing the DB-wide default, so a serving layer can bound one
+// build's wall time without changing the DB's configuration.
+func (db *DB) PrepareWithBudget(ctx context.Context, opts PrepareOptions, b Budget) (*Prepared, error) {
 	tbl, err := db.Table(opts.Table)
 	if err != nil {
 		return nil, err
@@ -287,7 +318,7 @@ func (db *DB) PrepareContext(ctx context.Context, opts PrepareOptions) (*Prepare
 		EqualPartitionOnly: opts.EqualPartitionOnly,
 		WithCountCube:      opts.WithCountCube,
 		WithMinMax:         opts.WithMinMax,
-	}, db.defaultBudget())
+	}, b)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +372,13 @@ func (p *Prepared) Query(statement string) (Result, error) {
 // QueryContext is Query with cancellation; GROUP BY answers check ctx
 // once per group.
 func (p *Prepared) QueryContext(ctx context.Context, statement string) (Result, error) {
+	return p.QueryWithBudget(ctx, statement, p.db.defaultBudget())
+}
+
+// QueryWithBudget is QueryContext with an explicit per-call Budget
+// replacing the DB-wide default, so a serving layer can map each
+// request's deadline onto the executor's budget.
+func (p *Prepared) QueryWithBudget(ctx context.Context, statement string, b Budget) (Result, error) {
 	if err := p.live("query"); err != nil {
 		return Result{}, err
 	}
@@ -348,7 +386,7 @@ func (p *Prepared) QueryContext(ctx context.Context, statement string) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
-	return p.run(ctx, plan)
+	return p.runWithBudget(ctx, plan, b)
 }
 
 // QueryStruct answers an engine.Query approximately.
@@ -364,10 +402,16 @@ func (p *Prepared) QueryStructContext(ctx context.Context, q engine.Query) (Resu
 	return p.run(ctx, exec.PlanQueryStruct(p.proc, p.tbl, q))
 }
 
-// run executes a plan through the DB's executor and converts the
-// outcome.
+// run executes a plan through the DB's executor under the DB-wide
+// default budget and converts the outcome.
 func (p *Prepared) run(ctx context.Context, plan *exec.Plan) (Result, error) {
-	out, err := p.db.ex.Run(ctx, plan, p.db.defaultBudget())
+	return p.runWithBudget(ctx, plan, p.db.defaultBudget())
+}
+
+// runWithBudget executes a plan through the DB's executor under an
+// explicit budget and converts the outcome.
+func (p *Prepared) runWithBudget(ctx context.Context, plan *exec.Plan, b Budget) (Result, error) {
+	out, err := p.db.ex.Run(ctx, plan, b)
 	if err != nil {
 		return Result{}, err
 	}
@@ -413,6 +457,9 @@ type PreprocessingStats struct {
 	CubeShape    []int
 	TotalSeconds float64
 }
+
+// TableName reports the registered table this preparation answers for.
+func (p *Prepared) TableName() string { return p.tbl.Name }
 
 // Sample exposes the underlying sample (read-only use).
 func (p *Prepared) Sample() *sample.Sample { return p.proc.Sample }

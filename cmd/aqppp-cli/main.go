@@ -17,6 +17,13 @@
 //	.schema              table schema
 //	.help                this help
 //	.quit
+//
+// With -e the shell is skipped: the semicolon-separated statements run
+// in order (".exact"/".aqp" prefixes work as in the shell) and the
+// process exits with a code that classifies the first failure —
+// 0 success, 2 parse/unsupported/unknown-table, 3 budget-exceeded or
+// canceled, 1 anything else. The same classification applies when
+// preparation itself fails.
 package main
 
 import (
@@ -76,6 +83,24 @@ func (it *interrupter) NewContext() (context.Context, context.CancelFunc) {
 	}
 }
 
+// exitCode folds the error taxonomy into stable process exit codes so
+// scripts can tell "fix the statement" (2) from "raise the budget or
+// retry" (3) from "file a bug" (1). The kinds are the same wire-stable
+// set internal/server maps onto HTTP statuses.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	switch aqppp.ErrorKindOf(err) {
+	case aqppp.ErrParse, aqppp.ErrUnsupported, aqppp.ErrUnknownTable:
+		return 2
+	case aqppp.ErrBudgetExceeded, aqppp.ErrCanceled:
+		return 3
+	default:
+		return 1
+	}
+}
+
 func main() {
 	load := flag.String("load", "", "binary table file to load (from aqppp-gen)")
 	csvPath := flag.String("csv", "", "CSV table file to load")
@@ -88,17 +113,18 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	withMinMax := flag.Bool("minmax", false, "also build exact MIN/MAX indexes")
 	timeout := flag.Duration("timeout", 0, "per-statement wall-time bound (0 = unlimited)")
+	script := flag.String("e", "", "run semicolon-separated statements non-interactively and exit")
 	flag.Parse()
 
 	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	db := aqppp.NewDB()
 	if err := db.Register(tbl); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	if *agg == "" || *dims == "" {
 		fmt.Fprintln(os.Stderr, "need -agg and -dims to prepare AQP++ (e.g. -agg l_extendedprice -dims l_orderkey,l_suppkey)")
@@ -118,7 +144,7 @@ func main() {
 	prepCancel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	fmt.Printf("ready in %v. Table %q, %d rows. Type .help for commands.\n",
 		time.Since(t0).Round(time.Millisecond), tbl.Name, tbl.NumRows())
@@ -126,6 +152,13 @@ func main() {
 	session := repl.NewSession(db, tbl, prep)
 	session.Timeout = *timeout
 	session.NewContext = it.NewContext
+	if *script != "" {
+		if err := session.RunScript(*script, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(exitCode(err))
+		}
+		return
+	}
 	if err := session.Run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"aqppp"
+)
+
+// TestExitCode pins the taxonomy→exit-code contract scripts rely on:
+// 2 means fix the statement, 3 means raise the budget or retry, 1 means
+// something unexpected broke.
+func TestExitCode(t *testing.T) {
+	mk := func(k aqppp.ErrorKind) error {
+		return &aqppp.Error{Kind: k, Op: "test", Err: errors.New("boom")}
+	}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{mk(aqppp.ErrParse), 2},
+		{mk(aqppp.ErrUnsupported), 2},
+		{mk(aqppp.ErrUnknownTable), 2},
+		{mk(aqppp.ErrBudgetExceeded), 3},
+		{mk(aqppp.ErrCanceled), 3},
+		{mk(aqppp.ErrInternal), 1},
+		{errors.New("untyped"), 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command aqppp-serve exposes one table behind the HTTP query API in
+// internal/server: exact SQL over POST /v1/query, AQP++ approximate
+// answers over POST /v1/approx, handle management over /v1/prepare and
+// DELETE /v1/prepared/{name}, plus /healthz, /readyz and /statusz.
+//
+// Usage:
+//
+//	aqppp-serve -demo tpcd -rows 200000 -agg l_extendedprice -dims l_orderkey,l_suppkey
+//	aqppp-serve -load lineitem.tbl -addr :8080
+//
+// With -agg and -dims the server pre-builds one prepared handle (named
+// by -prepare, default "default") before accepting traffic; otherwise
+// handles are built on demand through POST /v1/prepare.
+//
+// SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503,
+// in-flight queries finish within -drain-timeout, stragglers are
+// hard-canceled. Exit status 0 means a clean drain, 1 a forced one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aqppp"
+	"aqppp/internal/dataset"
+	"aqppp/internal/engine"
+	"aqppp/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	load := flag.String("load", "", "binary table file to load (from aqppp-gen)")
+	csvPath := flag.String("csv", "", "CSV table file to load")
+	demo := flag.String("demo", "", "generate a demo dataset: tpcd | bigbench | tlctrip")
+	rows := flag.Int("rows", 200000, "rows for -demo")
+	seed := flag.Uint64("seed", 42, "random seed")
+	agg := flag.String("agg", "", "aggregation attribute for the startup prepared handle")
+	dims := flag.String("dims", "", "comma-separated condition attributes for the startup handle")
+	rate := flag.Float64("sample-rate", 0.01, "uniform sample rate for the startup handle")
+	k := flag.Int("k", 5000, "BP-Cube cell budget for the startup handle")
+	withMinMax := flag.Bool("minmax", false, "also build exact MIN/MAX indexes on the startup handle")
+	handle := flag.String("prepare", "default", "name of the startup prepared handle")
+	maxConc := flag.Int("max-concurrent", 0, "max queries executing at once (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max queries waiting for a slot (0 = 4x max-concurrent)")
+	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the request has no timeout_ms (0 = unlimited)")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on any request's timeout (0 = no cap)")
+	maxResamples := flag.Int("max-resamples", 100000, "cap on bootstrap resamples per request (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight queries")
+	drainPause := flag.Duration("drain-pause", 0, "keep accepting this long after /readyz flips to 503")
+	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
+	flag.Parse()
+
+	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	db := aqppp.NewDB()
+	if err := db.Register(tbl); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	cfg := server.Config{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxResamples:   *maxResamples,
+		DrainPause:     *drainPause,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := server.New(db, cfg)
+
+	if *agg != "" && *dims != "" {
+		fmt.Fprintf(os.Stderr, "preparing handle %q for [%s; %s] (rate %.3g, k %d)...\n",
+			*handle, *agg, *dims, *rate, *k)
+		t0 := time.Now()
+		prep, err := db.Prepare(aqppp.PrepareOptions{
+			Table: tbl.Name, Aggregate: *agg,
+			Dimensions: strings.Split(*dims, ","),
+			SampleRate: *rate, CellBudget: *k, Seed: *seed,
+			WithMinMax: *withMinMax,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := srv.RegisterPrepared(*handle, prep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "handle %q ready in %v\n", *handle, time.Since(t0).Round(time.Millisecond))
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The smoke test (and port-0 users generally) parse this line for the
+	// bound address; keep it on stdout and keep its shape stable.
+	fmt.Printf("listening on %s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "%v: draining (timeout %v)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "forced shutdown: %v\n", err)
+		<-serveErr
+		return 1
+	}
+	if err := <-serveErr; err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "drained cleanly")
+	return 0
+}
+
+func loadTable(load, csvPath, demo string, rows int, seed uint64) (*engine.Table, error) {
+	switch {
+	case load != "":
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return engine.ReadBinary(f)
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		base := csvPath
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		base = strings.TrimSuffix(base, ".csv")
+		return engine.ReadCSV(base, f)
+	case demo == "tpcd":
+		return dataset.TPCDSkew(dataset.TPCDConfig{Rows: rows, Seed: seed}), nil
+	case demo == "bigbench":
+		return dataset.BigBenchUserVisits(dataset.BigBenchConfig{Rows: rows, Seed: seed}), nil
+	case demo == "tlctrip":
+		return dataset.TLCTrip(dataset.TLCTripConfig{Rows: rows, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("need one of -load, -csv, or -demo")
+	}
+}

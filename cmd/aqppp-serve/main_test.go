@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeBinarySmoke builds the real binary and exercises the serving
+// path end to end: startup, exact + approx answers, a shed burst
+// against a capacity-1 gate, and a clean SIGTERM drain (exit 0). It is
+// the scripted smoke in scripts/check.sh; set AQPPP_SERVER_SMOKE=1 to
+// run it.
+func TestServeBinarySmoke(t *testing.T) {
+	if os.Getenv("AQPPP_SERVER_SMOKE") == "" {
+		t.Skip("set AQPPP_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "aqppp-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-demo", "tpcd", "-rows", "5000", "-seed", "9",
+		"-addr", "127.0.0.1:0",
+		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
+		"-sample-rate", "0.2", "-k", "500",
+		"-max-concurrent", "1", "-max-queue", "1",
+		"-max-resamples", "0",
+		"-drain-timeout", "10s", "-quiet",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The first stdout line announces the bound address.
+	var addr string
+	lines := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			line := lines.Text()
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				got <- rest
+				return
+			}
+		}
+		got <- ""
+	}()
+	select {
+	case addr = <-got:
+	case <-deadline:
+		t.Fatal("server never announced its address")
+	}
+	if addr == "" {
+		t.Fatal("no listening line on stdout")
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	type queryReq struct {
+		SQL       string `json:"sql,omitempty"`
+		Prepared  string `json:"prepared,omitempty"`
+		TimeoutMS int64  `json:"timeout_ms,omitempty"`
+		Resamples int    `json:"resamples,omitempty"`
+	}
+
+	stmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000"
+	if code, body := post("/v1/query", queryReq{SQL: stmt}); code != http.StatusOK {
+		t.Fatalf("exact query = %d (%v)", code, body)
+	}
+	code, body := post("/v1/approx", queryReq{Prepared: "default", SQL: stmt})
+	if code != http.StatusOK {
+		t.Fatalf("approx query = %d (%v)", code, body)
+	}
+	if _, ok := body["half_width"]; !ok {
+		t.Errorf("approx body missing half_width: %v", body)
+	}
+
+	// Burst 8 heavy bootstrap queries at a 1-slot/1-seat gate: at least
+	// one must come back 429.
+	var mu sync.Mutex
+	counts := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := post("/v1/approx", queryReq{
+				Prepared: "default", SQL: stmt, Resamples: 2000, TimeoutMS: 30000,
+			})
+			mu.Lock()
+			counts[code]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Errorf("burst of 8 against capacity 2 shed nothing: %v", counts)
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Errorf("burst of 8 all failed: %v", counts)
+	}
+	for code := range counts {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("unexpected status %d in burst: %v", code, counts)
+		}
+	}
+
+	// SIGTERM drains cleanly: exit status 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain exit: %v (want status 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	fmt.Fprintln(os.Stderr, "smoke: burst outcome", counts)
+}

@@ -33,6 +33,12 @@ const (
 
 // ErrorKindOf extracts the kind from an error returned by this package;
 // other errors (including nil) report ErrInternal.
+//
+// The kinds are designed to be a wire-stable contract: ErrorKind's
+// String form ("parse", "unknown-table", "unsupported", "canceled",
+// "budget-exceeded", "internal") is what internal/server emits in its
+// JSON error bodies and what cmd/aqppp-cli folds into exit codes, so
+// renaming a kind is a breaking API change.
 func ErrorKindOf(err error) ErrorKind { return exec.KindOf(err) }
 
 // Budget bounds a query or preparation: wall time, bootstrap resamples,

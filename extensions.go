@@ -40,6 +40,13 @@ func (p *Prepared) QueryBootstrap(statement string, resamples int) (Result, erro
 // budget caps the replicate count (MaxResamples) and the scratch
 // buffers (MaxScratchBytes).
 func (p *Prepared) QueryBootstrapContext(ctx context.Context, statement string, resamples int) (Result, error) {
+	return p.QueryBootstrapWithBudget(ctx, statement, resamples, p.db.defaultBudget())
+}
+
+// QueryBootstrapWithBudget is QueryBootstrapContext with an explicit
+// per-call Budget replacing the DB-wide default: the budget's
+// MaxResamples and MaxScratchBytes caps apply to this one statement.
+func (p *Prepared) QueryBootstrapWithBudget(ctx context.Context, statement string, resamples int, b Budget) (Result, error) {
 	if err := p.live("bootstrap"); err != nil {
 		return Result{}, err
 	}
@@ -47,7 +54,7 @@ func (p *Prepared) QueryBootstrapContext(ctx context.Context, statement string, 
 	if err != nil {
 		return Result{}, err
 	}
-	return p.run(ctx, plan)
+	return p.runWithBudget(ctx, plan, b)
 }
 
 // MultiPrepareOptions configures PrepareMulti: several templates sharing

@@ -2,12 +2,20 @@ package engine
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 )
+
+// ioBatchRows is the cancellation granularity of the context-aware
+// readers: one ctx poll per this many rows, so a canceled load unwinds
+// within a batch without putting a branch on every row's hot path. It
+// matches the engine's zone-block size so load and scan share one
+// latency story.
+const ioBatchRows = 4096
 
 // magic identifies the binary table format; version follows it.
 var magic = [4]byte{'A', 'Q', 'P', 'T'}
@@ -44,6 +52,14 @@ func (t *Table) WriteBinary(w io.Writer) error {
 
 // ReadBinary deserializes a table previously written with WriteBinary.
 func ReadBinary(r io.Reader) (*Table, error) {
+	return ReadBinaryContext(context.Background(), r)
+}
+
+// ReadBinaryContext is ReadBinary with cancellation: the reader checks
+// ctx once per row batch (ioBatchRows rows) inside each column, so a
+// canceled context unwinds a large load within one batch. The returned
+// error is ctx.Err() when the cancel landed mid-load.
+func ReadBinaryContext(ctx context.Context, r io.Reader) (*Table, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -73,7 +89,7 @@ func ReadBinary(r io.Reader) (*Table, error) {
 	}
 	t := &Table{Name: name, byName: make(map[string]int)}
 	for i := uint64(0); i < ncols; i++ {
-		c, err := readColumn(br, int(nrows))
+		c, err := readColumn(ctx, br, int(nrows))
 		if err != nil {
 			return nil, fmt.Errorf("engine: read column %d: %w", i, err)
 		}
@@ -128,7 +144,7 @@ func writeColumn(w *bufio.Writer, c *Column) error {
 	return nil
 }
 
-func readColumn(r *bufio.Reader, nrows int) (*Column, error) {
+func readColumn(ctx context.Context, r *bufio.Reader, nrows int) (*Column, error) {
 	name, err := readString(r)
 	if err != nil {
 		return nil, err
@@ -143,6 +159,11 @@ func readColumn(r *bufio.Reader, nrows int) (*Column, error) {
 	case Int64:
 		c.Ints = make([]int64, nrows)
 		for i := range c.Ints {
+			if i&(ioBatchRows-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if _, err := io.ReadFull(r, buf[:]); err != nil {
 				return nil, err
 			}
@@ -151,6 +172,11 @@ func readColumn(r *bufio.Reader, nrows int) (*Column, error) {
 	case Float64:
 		c.Floats = make([]float64, nrows)
 		for i := range c.Floats {
+			if i&(ioBatchRows-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if _, err := io.ReadFull(r, buf[:]); err != nil {
 				return nil, err
 			}
@@ -169,6 +195,11 @@ func readColumn(r *bufio.Reader, nrows int) (*Column, error) {
 		}
 		c.Codes = make([]int32, nrows)
 		for i := range c.Codes {
+			if i&(ioBatchRows-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if _, err := io.ReadFull(r, buf[:4]); err != nil {
 				return nil, err
 			}
@@ -236,6 +267,15 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // types from the first data row: int64 if it parses as an integer, float64
 // if it parses as a float, else string. An empty file yields an error.
 func ReadCSV(name string, r io.Reader) (*Table, error) {
+	return ReadCSVContext(context.Background(), name, r)
+}
+
+// ReadCSVContext is ReadCSV with cancellation: both the record-reading
+// loop and the per-column parse loops check ctx once per row batch
+// (ioBatchRows rows), so a canceled context unwinds a large load within
+// one batch. The returned error is ctx.Err() when the cancel landed
+// mid-load.
+func ReadCSVContext(ctx context.Context, name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
@@ -243,6 +283,11 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	}
 	var records [][]string
 	for {
+		if len(records)&(ioBatchRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
@@ -270,6 +315,11 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		case Int64:
 			vals := make([]int64, len(records))
 			for i, rec := range records {
+				if i&(ioBatchRows-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				v, err := strconv.ParseInt(rec[j], 10, 64)
 				if err != nil {
 					return nil, fmt.Errorf("engine: row %d column %q: %w", i, h, err)
@@ -280,6 +330,11 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		case Float64:
 			vals := make([]float64, len(records))
 			for i, rec := range records {
+				if i&(ioBatchRows-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				v, err := strconv.ParseFloat(rec[j], 64)
 				if err != nil {
 					return nil, fmt.Errorf("engine: row %d column %q: %w", i, h, err)

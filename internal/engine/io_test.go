@@ -2,6 +2,9 @@ package engine
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -102,6 +105,68 @@ func TestCSVHeaderOnly(t *testing.T) {
 	}
 	if tbl.NumRows() != 0 || tbl.NumCols() != 2 {
 		t.Errorf("shape = %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+// bigIOTable spans many ioBatchRows batches so a pre-canceled context
+// must be observed mid-load, not just at the end.
+func bigIOTable(rows int) *Table {
+	ints := make([]int64, rows)
+	floats := make([]float64, rows)
+	strs := make([]string, rows)
+	for i := range ints {
+		ints[i] = int64(i)
+		floats[i] = float64(i) + 0.5
+		strs[i] = [3]string{"red", "green", "blue"}[i%3]
+	}
+	return MustNewTable("big",
+		NewIntColumn("i", ints),
+		NewFloatColumn("f", floats),
+		NewStringColumn("s", strs),
+	)
+}
+
+func TestBinaryContextCanceled(t *testing.T) {
+	tbl := bigIOTable(3 * ioBatchRows)
+	var buf bytes.Buffer
+	if err := tbl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReadBinaryContext(ctx, &buf); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadBinaryContext with canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// A background context must load the whole thing unchanged.
+	buf.Reset()
+	if err := tbl.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinaryContext(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, tbl, got)
+}
+
+func TestCSVContextCanceled(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("i,f\n")
+	for i := 0; i < 3*ioBatchRows; i++ {
+		fmt.Fprintf(&sb, "%d,%d.5\n", i, i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReadCSVContext(ctx, "t", strings.NewReader(sb.String())); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReadCSVContext with canceled ctx: err = %v, want context.Canceled", err)
+	}
+	tbl, err := ReadCSVContext(context.Background(), "t", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3*ioBatchRows {
+		t.Errorf("rows = %d, want %d", tbl.NumRows(), 3*ioBatchRows)
 	}
 }
 

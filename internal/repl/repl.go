@@ -86,15 +86,54 @@ func (s *Session) HandleLine(line string, w io.Writer) bool {
 	case line == ".stats":
 		s.printStats(w)
 	case strings.HasPrefix(line, ".exact "):
-		s.runExact(w, strings.TrimPrefix(line, ".exact "))
+		printErr(w, s.runExact(w, strings.TrimPrefix(line, ".exact ")))
 	case strings.HasPrefix(line, ".aqp "):
-		s.runAQP(w, strings.TrimPrefix(line, ".aqp "))
+		printErr(w, s.runAQP(w, strings.TrimPrefix(line, ".aqp ")))
 	case strings.HasPrefix(line, "."):
 		fmt.Fprintf(w, "unknown command %q; try .help\n", line)
 	default:
-		s.runApprox(w, line)
+		printErr(w, s.runApprox(w, line))
 	}
 	return true
+}
+
+// printErr renders a statement failure the way the shell always has;
+// the shell keeps going where RunScript stops.
+func printErr(w io.Writer, err error) {
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+	}
+}
+
+// RunScript executes semicolon-separated statements in order, writing
+// answers to w, and stops at the first failure, returning it. Statements
+// take the same forms the shell accepts (".exact"/".aqp" prefixes,
+// ".stats", ".schema"); cmd/aqppp-cli's -e mode folds the returned
+// error's kind into its exit code.
+func (s *Session) RunScript(script string, w io.Writer) error {
+	for _, stmt := range strings.Split(script, ";") {
+		stmt = strings.TrimSpace(stmt)
+		var err error
+		switch {
+		case stmt == "":
+		case stmt == ".stats":
+			s.printStats(w)
+		case stmt == ".schema":
+			s.printSchema(w)
+		case strings.HasPrefix(stmt, ".exact "):
+			err = s.runExact(w, strings.TrimPrefix(stmt, ".exact "))
+		case strings.HasPrefix(stmt, ".aqp "):
+			err = s.runAQP(w, strings.TrimPrefix(stmt, ".aqp "))
+		case strings.HasPrefix(stmt, "."):
+			err = fmt.Errorf("unknown command %q", stmt)
+		default:
+			err = s.runApprox(w, stmt)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 const helpText = "SELECT ...;        approximate answer (AQP++)\n" +
@@ -117,59 +156,58 @@ func (s *Session) printStats(w io.Writer) {
 		st.SampleRows, st.SampleBytes, st.CubeCells, st.CubeShape, st.CubeBytes, st.TotalSeconds)
 }
 
-func (s *Session) runApprox(w io.Writer, stmt string) {
+func (s *Session) runApprox(w io.Writer, stmt string) error {
 	ctx, cancel := s.statementContext()
 	defer cancel()
 	t0 := time.Now()
 	res, err := s.Prepared.QueryContext(ctx, stmt)
 	el := time.Since(t0)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return
+		return err
 	}
 	if len(res.Groups) > 0 {
 		for _, g := range res.Groups {
 			fmt.Fprintf(w, "  %-20s %14.2f ± %-12.2f (pre: %s)\n", g.Key, g.Value, g.HalfWidth, g.Pre)
 		}
 		fmt.Fprintf(w, "  [%d groups, %v]\n", len(res.Groups), el.Round(time.Microsecond))
-		return
+		return nil
 	}
 	fmt.Fprintf(w, "  %14.2f ± %.2f (%.0f%% CI)  pre=%s  [%v]\n",
 		res.Value, res.HalfWidth, 100*res.Confidence, res.Pre, el.Round(time.Microsecond))
+	return nil
 }
 
-func (s *Session) runAQP(w io.Writer, stmt string) {
+func (s *Session) runAQP(w io.Writer, stmt string) error {
 	q, err := sql.ParseAndCompile(stmt, s.Table)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return
+		return err
 	}
 	t0 := time.Now()
 	est, err := aqp.EstimateQuery(s.Prepared.Sample(), q, 0.95)
 	el := time.Since(t0)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return
+		return err
 	}
 	fmt.Fprintf(w, "  %14.2f ± %.2f (95%% CI, plain AQP)  [%v]\n", est.Value, est.HalfWidth, el.Round(time.Microsecond))
+	return nil
 }
 
-func (s *Session) runExact(w io.Writer, stmt string) {
+func (s *Session) runExact(w io.Writer, stmt string) error {
 	ctx, cancel := s.statementContext()
 	defer cancel()
 	t0 := time.Now()
 	res, err := s.DB.ExactContext(ctx, stmt)
 	el := time.Since(t0)
 	if err != nil {
-		fmt.Fprintln(w, "error:", err)
-		return
+		return err
 	}
 	if len(res.Groups) > 0 {
 		for _, g := range res.Groups {
 			fmt.Fprintf(w, "  %-20s %14.2f (%d rows)\n", g.Key, g.Value, g.Rows)
 		}
 		fmt.Fprintf(w, "  [%d groups, %v]\n", len(res.Groups), el.Round(time.Microsecond))
-		return
+		return nil
 	}
 	fmt.Fprintf(w, "  %14.2f (exact)  [%v]\n", res.Value, el.Round(time.Microsecond))
+	return nil
 }

@@ -96,6 +96,38 @@ func TestHandleErrors(t *testing.T) {
 	}
 }
 
+func TestRunScript(t *testing.T) {
+	s := newTestSession(t)
+	var out strings.Builder
+	err := s.RunScript("SELECT SUM(v) FROM demo WHERE k BETWEEN 10 AND 400; .exact SELECT COUNT(*) FROM demo; .stats", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "pre=") || !strings.Contains(text, "(exact)") || !strings.Contains(text, "sample:") {
+		t.Errorf("script output malformed: %q", text)
+	}
+
+	// The first failure stops the script, carries its taxonomy kind, and
+	// later statements never run.
+	out.Reset()
+	err = s.RunScript("SELECT garbage; .exact SELECT COUNT(*) FROM demo", &out)
+	if err == nil {
+		t.Fatal("bad statement did not fail the script")
+	}
+	if k := aqppp.ErrorKindOf(err); k != aqppp.ErrParse {
+		t.Errorf("kind = %v, want parse", k)
+	}
+	if strings.Contains(out.String(), "(exact)") {
+		t.Errorf("script kept running past the failure: %q", out.String())
+	}
+
+	out.Reset()
+	if err := s.RunScript(".bogus", &out); err == nil {
+		t.Error("unknown command accepted in script mode")
+	}
+}
+
 func TestQuit(t *testing.T) {
 	s := newTestSession(t)
 	var sb strings.Builder

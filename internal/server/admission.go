@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Gate is the admission controller in front of the query engine: a
+// bounded concurrency gate (at most limit requests execute at once)
+// plus a bounded, deadline-aware wait queue (at most maxQueue requests
+// wait for a slot). Requests beyond both bounds — and requests whose
+// deadline provably cannot be met given the current queue and the
+// observed service time — are shed immediately with an *Overload error
+// carrying a Retry-After hint, instead of queuing up to die.
+//
+// The design follows the standard load-shedding argument: under
+// overload, latency is minimized by rejecting excess work at the door
+// (a 429 costs microseconds) rather than letting every request share a
+// collapsing server. The deadline feasibility check is what turns the
+// queue from FIFO-and-pray into an a-priori guarantee in the PilotDB
+// sense: a request that enters the queue has a predicted wait shorter
+// than its deadline.
+type Gate struct {
+	limit    int
+	maxQueue int
+	// slots is a token bucket: it starts full with limit tokens;
+	// acquiring takes one, releasing puts it back.
+	slots chan struct{}
+
+	mu     sync.Mutex
+	queued int
+
+	// ewmaServiceNS tracks recent gated service time (¾ old + ¼ new),
+	// seeding the queue-wait prediction. Zero until the first release,
+	// so cold gates never deadline-shed.
+	ewmaServiceNS atomic.Int64
+
+	inFlight    atomic.Int64
+	served      atomic.Int64
+	shed        atomic.Int64
+	queuedTotal atomic.Int64
+}
+
+// NewGate builds a gate admitting limit concurrent requests with a
+// queue of maxQueue waiters. limit < 1 is treated as 1; maxQueue < 0
+// as 0 (shed the moment all slots are busy).
+func NewGate(limit, maxQueue int) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	g := &Gate{limit: limit, maxQueue: maxQueue, slots: make(chan struct{}, limit)}
+	for i := 0; i < limit; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// Overload is the error Acquire sheds with: the request was not
+// admitted and should be retried after RetryAfter. Reason is
+// "queue-full" or "deadline".
+type Overload struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (o *Overload) Error() string {
+	return fmt.Sprintf("server overloaded (%s); retry after %v", o.Reason, o.RetryAfter)
+}
+
+// Acquire admits one request. deadline is the request's absolute
+// deadline (zero = none); ctx is the client's context, so a client that
+// disconnects while queued stops waiting. On success the returned
+// release must be called exactly once, after the gated work finishes.
+// On failure release is nil and err is an *Overload (shed) or ctx.Err()
+// (client gone while queued).
+func (g *Gate) Acquire(ctx context.Context, deadline time.Time) (release func(), err error) {
+	// Fast path: a slot is free, skip the queue entirely.
+	select {
+	case <-g.slots:
+		return g.enter(), nil
+	default:
+	}
+
+	// Slow path: try to queue. The queue is bounded, and a request
+	// whose deadline cannot be met given its queue position is shed
+	// now instead of timing out in line.
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return nil, &Overload{Reason: "queue-full", RetryAfter: g.retryAfter(g.maxQueue)}
+	}
+	g.queued++
+	pos := g.queued
+	g.mu.Unlock()
+	g.queuedTotal.Add(1)
+
+	if !deadline.IsZero() {
+		if wait := g.predictWait(pos); wait > 0 && time.Until(deadline) < wait {
+			g.exitQueue()
+			g.shed.Add(1)
+			return nil, &Overload{Reason: "deadline", RetryAfter: wait}
+		}
+	}
+
+	var timer <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-g.slots:
+		g.exitQueue()
+		return g.enter(), nil
+	case <-timer:
+		// The deadline fired while queued (the prediction was too
+		// optimistic — e.g. the gate was cold). Still a shed: the
+		// client gets a 429 before any work ran.
+		g.exitQueue()
+		g.shed.Add(1)
+		return nil, &Overload{Reason: "deadline", RetryAfter: g.retryAfter(1)}
+	case <-ctx.Done():
+		g.exitQueue()
+		return nil, ctx.Err()
+	}
+}
+
+// enter marks a request in flight and returns its release.
+func (g *Gate) enter() func() {
+	g.inFlight.Add(1)
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.recordService(time.Since(start))
+			g.inFlight.Add(-1)
+			g.served.Add(1)
+			g.slots <- struct{}{}
+		})
+	}
+}
+
+func (g *Gate) exitQueue() {
+	g.mu.Lock()
+	g.queued--
+	g.mu.Unlock()
+}
+
+// recordService folds one observed service time into the EWMA.
+func (g *Gate) recordService(d time.Duration) {
+	obs := int64(d)
+	if obs < 1 {
+		obs = 1
+	}
+	for {
+		old := g.ewmaServiceNS.Load()
+		next := obs
+		if old > 0 {
+			next = (3*old + obs) / 4
+		}
+		if g.ewmaServiceNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// predictWait estimates how long the request at queue position pos will
+// wait for a slot: pos requests ahead of it must drain through limit
+// lanes at the observed service time. Zero when the gate has no service
+// history yet.
+func (g *Gate) predictWait(pos int) time.Duration {
+	svc := g.ewmaServiceNS.Load()
+	if svc <= 0 {
+		return 0
+	}
+	rounds := (pos + g.limit - 1) / g.limit
+	return time.Duration(int64(rounds) * svc)
+}
+
+// retryAfter is the Retry-After hint for a shed request: the predicted
+// time for depth queued requests to drain, floored at 1ms so clients
+// never see zero.
+func (g *Gate) retryAfter(depth int) time.Duration {
+	if depth < 1 {
+		depth = 1
+	}
+	d := g.predictWait(depth)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// InFlight reports requests currently holding a slot.
+func (g *Gate) InFlight() int64 { return g.inFlight.Load() }
+
+// Queued reports requests currently waiting for a slot.
+func (g *Gate) Queued() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return int64(g.queued)
+}
+
+// Served reports requests that completed gated work.
+func (g *Gate) Served() int64 { return g.served.Load() }
+
+// Shed reports requests rejected with an *Overload.
+func (g *Gate) Shed() int64 { return g.shed.Load() }
+
+// QueuedTotal reports the cumulative count of requests that waited in
+// the queue (admitted or not).
+func (g *Gate) QueuedTotal() int64 { return g.queuedTotal.Load() }
+
+// Limit reports the concurrency bound.
+func (g *Gate) Limit() int { return g.limit }

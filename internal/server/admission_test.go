@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateConcurrencyLimit drives many goroutines through the gate and
+// asserts the in-flight count never exceeds the limit.
+func TestGateConcurrencyLimit(t *testing.T) {
+	const limit, queue, workers = 3, 64, 32
+	g := NewGate(limit, queue)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 20; n++ {
+				release, err := g.Acquire(context.Background(), time.Time{})
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				c := cur.Add(1)
+				for {
+					m := max.Load()
+					if c <= m || max.CompareAndSwap(m, c) {
+						break
+					}
+				}
+				time.Sleep(100 * time.Microsecond)
+				cur.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if m := max.Load(); m > limit {
+		t.Errorf("observed concurrency %d exceeds limit %d", m, limit)
+	}
+	if got := g.Served(); got != workers*20 {
+		t.Errorf("served = %d, want %d", got, workers*20)
+	}
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Errorf("gate not drained: inFlight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}
+
+// TestGateQueueFullShed fills every slot and every queue seat, then
+// asserts the next request is shed immediately with an *Overload.
+func TestGateQueueFullShed(t *testing.T) {
+	g := NewGate(1, 2)
+	hold, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters fill the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(ctx, time.Time{})
+			if err == nil {
+				release()
+			}
+		}()
+	}
+	waitFor(t, time.Second, func() bool { return g.Queued() == 2 })
+
+	start := time.Now()
+	release, err := g.Acquire(context.Background(), time.Time{})
+	if err == nil {
+		release()
+		t.Fatal("third waiter admitted past the queue bound")
+	}
+	var o *Overload
+	if !errors.As(err, &o) || o.Reason != "queue-full" {
+		t.Fatalf("err = %v, want queue-full Overload", err)
+	}
+	if o.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", o.RetryAfter)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Errorf("queue-full shed took %v; must be immediate", el)
+	}
+	if g.Shed() != 1 {
+		t.Errorf("shed = %d, want 1", g.Shed())
+	}
+	hold()
+	wg.Wait()
+}
+
+// TestGateDeadlineShed primes the gate's service-time estimate, fills
+// the slots, and asserts a request whose deadline is shorter than the
+// predicted queue wait is shed up front — without waiting in line.
+func TestGateDeadlineShed(t *testing.T) {
+	g := NewGate(1, 8)
+	// Prime the EWMA at ~100ms service time.
+	g.recordService(100 * time.Millisecond)
+	hold, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	release, err := g.Acquire(context.Background(), time.Now().Add(5*time.Millisecond))
+	if err == nil {
+		release()
+		t.Fatal("infeasible deadline admitted")
+	}
+	var o *Overload
+	if !errors.As(err, &o) || o.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline Overload", err)
+	}
+	if el := time.Since(start); el >= 5*time.Millisecond {
+		t.Errorf("deadline shed took %v; must not wait out the deadline", el)
+	}
+	hold()
+
+	// With a met deadline the same request sails through.
+	release, err = g.Acquire(context.Background(), time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatalf("feasible request rejected: %v", err)
+	}
+	release()
+}
+
+// TestGateColdDeadlineExpiresInQueue: with no service history the gate
+// cannot predict, so the waiter queues and its deadline firing in the
+// queue still yields a shed (never a success after the deadline).
+func TestGateColdDeadlineExpiresInQueue(t *testing.T) {
+	g := NewGate(1, 8)
+	hold, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Millisecond)
+	_, err = g.Acquire(context.Background(), deadline)
+	if err == nil {
+		t.Fatal("expired waiter admitted")
+	}
+	var o *Overload
+	if !errors.As(err, &o) || o.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline Overload", err)
+	}
+	if time.Now().Before(deadline) {
+		t.Error("shed before the deadline actually fired")
+	}
+	hold()
+}
+
+// TestGateClientGoneWhileQueued: a canceled context unblocks the waiter
+// with ctx.Err(), not an Overload, and does not count as shed.
+func TestGateClientGoneWhileQueued(t *testing.T) {
+	g := NewGate(1, 8)
+	hold, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, time.Time{})
+		done <- err
+	}()
+	waitFor(t, time.Second, func() bool { return g.Queued() == 1 })
+	cancel()
+	err = <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	var o *Overload
+	if errors.As(err, &o) {
+		t.Errorf("client-gone wrongly classified as Overload")
+	}
+	if g.Shed() != 0 {
+		t.Errorf("shed = %d, want 0", g.Shed())
+	}
+	hold()
+}
+
+// TestGateReleaseIdempotent: calling release twice must not free two
+// slots.
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(1, 0)
+	release, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release()
+	// One slot: acquire, and the next non-queuing acquire must shed.
+	r2, err := g.Acquire(context.Background(), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background(), time.Time{}); err == nil {
+		t.Fatal("double release freed a phantom slot")
+	}
+	r2()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"aqppp"
+)
+
+// reqInfo travels with one request through the handler chain.
+type reqInfo struct {
+	id       string
+	endpoint string
+	start    time.Time
+}
+
+// statusWriter records the status code written so the access log and
+// metrics see what the client saw.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/approx", s.instrument("/v1/approx", s.handleApprox))
+	s.mux.HandleFunc("POST /v1/prepare", s.instrument("/v1/prepare", s.handlePrepare))
+	s.mux.HandleFunc("DELETE /v1/prepared/{name}", s.instrument("/v1/prepared", s.handleDropPrepared))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statusz", s.instrument("/statusz", s.handleStatusz))
+}
+
+// instrument assigns the request ID, captures the status, and feeds the
+// access log and per-endpoint metrics on completion.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ri := &reqInfo{id: s.nextRequestID(), endpoint: endpoint, start: time.Now()}
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", ri.id)
+		h(sw, r, ri)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := time.Since(ri.start)
+		s.met.observe(endpoint, sw.status, float64(d)/float64(time.Microsecond))
+		s.logAccess(ri.id, r.Method, r.URL.Path, sw.status, d)
+	}
+}
+
+// writeJSON writes a JSON response body. Encode failures past the
+// header cannot be reported to the client; they are deliberately
+// dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps err onto its HTTP status and JSON body, counting the
+// kind in the metrics registry.
+func (s *Server) writeError(w http.ResponseWriter, ri *reqInfo, err error) {
+	kind := aqppp.ErrorKindOf(err)
+	s.met.observeKind(kind.String())
+	s.writeJSON(w, statusForKind(kind), ErrorBody{Error: ErrorDetail{
+		Kind:      kind.String(),
+		Message:   err.Error(),
+		RequestID: ri.id,
+	}})
+}
+
+// writeServerError emits a server-level (non-taxonomy) error kind.
+func (s *Server) writeServerError(w http.ResponseWriter, ri *reqInfo, status int, kind, msg string) {
+	s.met.observeKind(kind)
+	s.writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Kind: kind, Message: msg, RequestID: ri.id,
+	}})
+}
+
+// writeShed emits the 429 for an admission-control shed, with the
+// Retry-After header (whole seconds, ceiling, minimum 1) and its
+// millisecond-resolution mirror in the body.
+func (s *Server) writeShed(w http.ResponseWriter, ri *reqInfo, o *Overload) {
+	s.met.observeKind("overloaded")
+	secs := int64((o.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: ErrorDetail{
+		Kind:         "overloaded",
+		Message:      o.Error(),
+		RequestID:    ri.id,
+		RetryAfterMS: int64(o.RetryAfter / time.Millisecond),
+	}})
+}
+
+// decode reads a JSON body into v, answering 400 (kind "parse") on
+// malformed input. The body is bounded by Config.MaxBodyBytes.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, ri *reqInfo, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeServerError(w, ri, http.StatusBadRequest, "parse",
+			fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// requestBudget resolves one request's wall-time bound: its timeout_ms,
+// defaulted and capped by config, stamped into an executor Budget along
+// with the server-wide resample and scratch caps. The returned deadline
+// (zero = none) is measured from the request's arrival, so queue wait
+// spends the same budget the engine does.
+func (s *Server) requestBudget(ri *reqInfo, timeoutMS int64) (aqppp.Budget, time.Time) {
+	timeout := time.Duration(timeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	b := aqppp.Budget{
+		MaxResamples:    s.cfg.MaxResamples,
+		MaxScratchBytes: s.cfg.MaxScratchBytes,
+	}
+	if timeout <= 0 {
+		return b, time.Time{}
+	}
+	return b, ri.start.Add(timeout)
+}
+
+// admit runs one request through the admission gate. On success the
+// caller holds a slot and must call release; the returned budget's
+// Timeout is the time remaining until the request deadline (queue wait
+// already spent). On failure admit has written the response.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, ri *reqInfo, timeoutMS int64) (func(), aqppp.Budget, bool) {
+	b, deadline := s.requestBudget(ri, timeoutMS)
+	release, err := s.gate.Acquire(r.Context(), deadline)
+	if err != nil {
+		var o *Overload
+		if errors.As(err, &o) {
+			s.writeShed(w, ri, o)
+		} else {
+			// The client went away while queued; 499 keeps the log and
+			// metrics honest even though nobody reads the response.
+			s.met.observeKind(aqppp.ErrCanceled.String())
+			s.writeJSON(w, statusClientClosedRequest, ErrorBody{Error: ErrorDetail{
+				Kind: aqppp.ErrCanceled.String(), Message: err.Error(), RequestID: ri.id,
+			}})
+		}
+		return nil, aqppp.Budget{}, false
+	}
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining < time.Millisecond {
+			remaining = time.Millisecond
+		}
+		b.Timeout = remaining
+	}
+	return release, b, true
+}
+
+// handleQuery answers POST /v1/query: an exact scan with the request's
+// deadline mapped onto the executor budget.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req QueryRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
+	if !ok {
+		return
+	}
+	defer release()
+	if h := s.hookGated; h != nil {
+		h(r.Context())
+	}
+	t0 := time.Now()
+	res, err := s.db.ExactWithBudget(r.Context(), req.SQL, budget)
+	if err != nil {
+		s.writeError(w, ri, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, exactResponse(ri.id, res, time.Since(t0)))
+}
+
+// handleApprox answers POST /v1/approx through a named prepared handle,
+// optionally with a bootstrap interval.
+func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req QueryRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	if req.Prepared == "" {
+		s.writeServerError(w, ri, http.StatusBadRequest, "parse",
+			`missing "prepared": /v1/approx answers through a named handle (build one with /v1/prepare)`)
+		return
+	}
+	prep, found := s.lookupPrepared(req.Prepared)
+	if !found {
+		s.writeServerError(w, ri, http.StatusNotFound, "unknown-prepared",
+			fmt.Sprintf("no prepared handle %q", req.Prepared))
+		return
+	}
+	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
+	if !ok {
+		return
+	}
+	defer release()
+	if h := s.hookGated; h != nil {
+		h(r.Context())
+	}
+	t0 := time.Now()
+	var res aqppp.Result
+	var err error
+	if req.Resamples > 0 {
+		res, err = prep.QueryBootstrapWithBudget(r.Context(), req.SQL, req.Resamples, budget)
+	} else {
+		res, err = prep.QueryWithBudget(r.Context(), req.SQL, budget)
+	}
+	if err != nil {
+		s.writeError(w, ri, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, approxResponse(ri.id, res, time.Since(t0)))
+}
+
+// handlePrepare answers POST /v1/prepare: builds a preparation under
+// the admission gate (builds are the heaviest requests the server
+// takes) and registers it under the requested handle name.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	var req PrepareRequest
+	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	if req.Name == "" {
+		s.writeServerError(w, ri, http.StatusBadRequest, "parse", `missing "name" for the prepared handle`)
+		return
+	}
+	if _, taken := s.lookupPrepared(req.Name); taken {
+		s.writeServerError(w, ri, http.StatusConflict, "conflict",
+			fmt.Sprintf("prepared handle %q already exists (DELETE /v1/prepared/%s first)", req.Name, req.Name))
+		return
+	}
+	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
+	if !ok {
+		return
+	}
+	defer release()
+	if h := s.hookGated; h != nil {
+		h(r.Context())
+	}
+	t0 := time.Now()
+	prep, err := s.db.PrepareWithBudget(r.Context(), aqppp.PrepareOptions{
+		Table:              req.Table,
+		Aggregate:          req.Aggregate,
+		Dimensions:         req.Dimensions,
+		SampleRate:         req.SampleRate,
+		CellBudget:         req.CellBudget,
+		Confidence:         req.Confidence,
+		Seed:               req.Seed,
+		WithCountCube:      req.WithCountCube,
+		WithMinMax:         req.WithMinMax,
+		EqualPartitionOnly: req.EqualPartitionOnly,
+	}, budget)
+	if err != nil {
+		s.writeError(w, ri, err)
+		return
+	}
+	if err := s.RegisterPrepared(req.Name, prep); err != nil {
+		// Lost a race with a concurrent prepare for the same name.
+		s.writeServerError(w, ri, http.StatusConflict, "conflict", err.Error())
+		return
+	}
+	st := prep.Stats()
+	s.writeJSON(w, http.StatusOK, PrepareResponse{
+		RequestID:  ri.id,
+		Name:       req.Name,
+		Table:      prep.TableName(),
+		SampleRows: st.SampleRows,
+		CubeCells:  st.CubeCells,
+		BuildMS:    toMS(time.Since(t0)),
+	})
+}
+
+// handleDropPrepared answers DELETE /v1/prepared/{name}. It forgets the
+// server's handle only; the table and any other handles stay live.
+func (s *Server) handleDropPrepared(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	name := r.PathValue("name")
+	if !s.dropPrepared(name) {
+		s.writeServerError(w, ri, http.StatusNotFound, "unknown-prepared",
+			fmt.Sprintf("no prepared handle %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once
+// draining (load balancers stop routing here before the listener
+// closes).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = fmt.Fprintln(w, "draining")
+		return
+	}
+	_, _ = fmt.Fprintln(w, "ready")
+}
+
+// handleStatusz reports uptime, admission-control state, and
+// per-endpoint latency histograms.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	eps, kinds := s.met.snapshot()
+	s.writeJSON(w, http.StatusOK, StatuszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ready:         s.ready.Load(),
+		Draining:      s.draining.Load(),
+		InFlight:      s.gate.InFlight(),
+		Queued:        s.gate.Queued(),
+		ServedTotal:   s.gate.Served(),
+		ShedTotal:     s.gate.Shed(),
+		QueuedTotal:   s.gate.QueuedTotal(),
+		Limit:         s.gate.Limit(),
+		Tables:        sortedTables(s.db),
+		Prepared:      s.preparedNames(),
+		ErrorKinds:    kinds,
+		Endpoints:     eps,
+	})
+}
+
+// sortedTables lists the DB's tables in stable order.
+func sortedTables(db *aqppp.DB) []string {
+	names := db.TableNames()
+	sort.Strings(names)
+	return names
+}

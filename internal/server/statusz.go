@@ -1,0 +1,152 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"aqppp/internal/stats"
+)
+
+// Latency histograms bucket log10(latency in µs) so one fixed-width
+// stats.Histogram spans 1µs to 1s at quarter-decade resolution —
+// interactive-latency SLOs live in the 1ms–1s decades, and the log
+// scale keeps both a 50µs cache hit and a 800ms cold scan resolvable.
+const (
+	latLogMin  = 0.0 // 10^0 µs = 1µs
+	latLogMax  = 6.0 // 10^6 µs = 1s
+	latBuckets = 24
+)
+
+// endpointMetrics aggregates one endpoint's traffic.
+type endpointMetrics struct {
+	requests int64
+	statuses map[int]int64
+	latency  *stats.Histogram // over log10(µs)
+}
+
+// metrics is the server's status registry: per-endpoint latency
+// histograms plus per-error-kind counters. All methods are safe for
+// concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	kinds     map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		endpoints: make(map[string]*endpointMetrics),
+		kinds:     make(map[string]int64),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(endpoint string, status int, latencyUS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{
+			statuses: make(map[int]int64),
+			latency:  stats.NewHistogram(latLogMin, latLogMax, latBuckets),
+		}
+		m.endpoints[endpoint] = em
+	}
+	em.requests++
+	em.statuses[status]++
+	if latencyUS < 1 {
+		latencyUS = 1
+	}
+	em.latency.Add(math.Log10(latencyUS))
+}
+
+// observeKind counts one error by taxonomy kind ("canceled", ...).
+func (m *metrics) observeKind(kind string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kinds[kind]++
+}
+
+// kindCount reads one kind's counter.
+func (m *metrics) kindCount(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.kinds[kind]
+}
+
+// LatencyBucketJSON is one histogram bucket on the wire: requests with
+// GeUS <= latency < LtUS microseconds.
+type LatencyBucketJSON struct {
+	GeUS  float64 `json:"ge_us"`
+	LtUS  float64 `json:"lt_us"`
+	Count int64   `json:"count"`
+}
+
+// EndpointJSON is one endpoint's statusz entry.
+type EndpointJSON struct {
+	Requests int64 `json:"requests"`
+	// Statuses counts responses by HTTP status code (JSON object keys
+	// are the codes as strings).
+	Statuses map[string]int64 `json:"statuses"`
+	// LatencyUS is the latency histogram; zero-count buckets are
+	// omitted.
+	LatencyUS []LatencyBucketJSON `json:"latency_us"`
+}
+
+// StatuszResponse is the body of GET /statusz.
+type StatuszResponse struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Ready         bool                    `json:"ready"`
+	Draining      bool                    `json:"draining"`
+	InFlight      int64                   `json:"in_flight"`
+	Queued        int64                   `json:"queued"`
+	ServedTotal   int64                   `json:"served_total"`
+	ShedTotal     int64                   `json:"shed_total"`
+	QueuedTotal   int64                   `json:"queued_total"`
+	Limit         int                     `json:"concurrency_limit"`
+	Tables        []string                `json:"tables"`
+	Prepared      []string                `json:"prepared"`
+	ErrorKinds    map[string]int64        `json:"error_kinds,omitempty"`
+	Endpoints     map[string]EndpointJSON `json:"endpoints"`
+}
+
+// snapshot renders the registry for /statusz.
+func (m *metrics) snapshot() (map[string]EndpointJSON, map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eps := make(map[string]EndpointJSON, len(m.endpoints))
+	for name, em := range m.endpoints {
+		ej := EndpointJSON{
+			Requests: em.requests,
+			Statuses: make(map[string]int64, len(em.statuses)),
+		}
+		codes := make([]int, 0, len(em.statuses))
+		for code := range em.statuses {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			ej.Statuses[strconv.Itoa(code)] = em.statuses[code]
+		}
+		width := (latLogMax - latLogMin) / float64(latBuckets)
+		for b, count := range em.latency.Counts {
+			if count == 0 {
+				continue
+			}
+			lo := latLogMin + float64(b)*width
+			ej.LatencyUS = append(ej.LatencyUS, LatencyBucketJSON{
+				GeUS:  math.Round(math.Pow(10, lo)*100) / 100,
+				LtUS:  math.Round(math.Pow(10, lo+width)*100) / 100,
+				Count: count,
+			})
+		}
+		eps[name] = ej
+	}
+	kinds := make(map[string]int64, len(m.kinds))
+	for k, v := range m.kinds {
+		kinds[k] = v
+	}
+	return eps, kinds
+}

@@ -35,6 +35,14 @@ echo "==> cancellation flake hunt (-race -run Cancel -count=5)"
 # ordering-dependent flakes before they reach CI.
 go test -race -run Cancel -count=5 ./...
 
+echo "==> server smoke (build, serve, query, shed, drain)"
+# Exercises the real aqppp-serve binary end to end: build it, serve a
+# small demo table on a random port, answer one exact and one approx
+# query, burst past the capacity-1 admission gate expecting 429s, then
+# SIGTERM and require a clean drain (exit 0). Gated behind the env var
+# so `go test ./...` above stays fast.
+AQPPP_SERVER_SMOKE=1 go test -race -count=1 -run TestServeBinarySmoke ./cmd/aqppp-serve
+
 echo "==> engine bench smoke (benchtime 1x)"
 # One iteration per benchmark: catches kernel-path panics/regressions in
 # the benchmark fixtures without turning the gate into a perf run. The
