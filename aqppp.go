@@ -65,7 +65,14 @@ type DB struct {
 	// invalidate it: a stale Prepared/MultiPrepared answers with an
 	// ErrUnknownTable-kind error instead of silently serving a table the
 	// DB no longer knows.
-	preps  map[string][]*prepState
+	preps map[string][]*prepState
+	// gens counts registration events per table name: Register and Drop
+	// each bump the name's generation, monotonically and forever (the
+	// entry survives Drop). A serving-layer cache keys entries on the
+	// generation observed *before* running a query, so an answer computed
+	// against a since-dropped table can never be served once the name is
+	// re-registered — the current generation has moved past the key's.
+	gens   map[string]uint64
 	ex     *exec.Executor
 	budget exec.Budget
 }
@@ -82,6 +89,7 @@ func NewDB() *DB {
 	return &DB{
 		tables: make(map[string]*engine.Table),
 		preps:  make(map[string][]*prepState),
+		gens:   make(map[string]uint64),
 		ex:     exec.New(),
 	}
 }
@@ -120,6 +128,7 @@ func (db *DB) Register(tbl *engine.Table) error {
 		return fmt.Errorf("aqppp: table %q already registered", tbl.Name)
 	}
 	db.tables[tbl.Name] = tbl
+	db.gens[tbl.Name]++
 	return nil
 }
 
@@ -129,11 +138,26 @@ func (db *DB) Register(tbl *engine.Table) error {
 func (db *DB) Drop(name string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	delete(db.tables, name)
+	if _, ok := db.tables[name]; ok {
+		delete(db.tables, name)
+		db.gens[name]++
+	}
 	for _, st := range db.preps[name] {
 		st.dropped.Store(true)
 	}
 	delete(db.preps, name)
+}
+
+// Generation reports the registration generation of a table name: 0 for
+// a name that was never registered, then +1 on every Register and every
+// Drop of that name (monotone; re-registering never reuses an old
+// value). A response cache keyed on the generation observed before a
+// query ran is therefore immune to Drop/re-Register churn: any entry
+// whose generation is not the current one is stale by construction.
+func (db *DB) Generation(name string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gens[name]
 }
 
 // Table returns a registered table. The failure carries the
@@ -222,10 +246,24 @@ func (db *DB) ExactContext(ctx context.Context, statement string) (engine.Result
 // uses it to map a per-request deadline onto the executor's budget, so
 // an overrun classifies as ErrBudgetExceeded rather than ErrCanceled.
 func (db *DB) ExactWithBudget(ctx context.Context, statement string, b Budget) (engine.Result, error) {
-	p, err := exec.PlanExactStatement(db, statement)
+	p, err := db.PlanExact(statement)
 	if err != nil {
 		return engine.Result{}, err
 	}
+	return db.RunExactPlan(ctx, p, b)
+}
+
+// PlanExact parses and compiles a statement into an executor plan
+// without running it. A serving layer plans once, derives a response
+// cache key from the plan (exec.Plan.CacheKey), and on a cache miss
+// runs the very same plan with RunExactPlan — no double parse.
+func (db *DB) PlanExact(statement string) (*exec.Plan, error) {
+	return exec.PlanExactStatement(db, statement)
+}
+
+// RunExactPlan executes a plan built by PlanExact under the context and
+// an explicit budget.
+func (db *DB) RunExactPlan(ctx context.Context, p *exec.Plan, b Budget) (engine.Result, error) {
 	out, err := db.ex.Run(ctx, p, b)
 	if err != nil {
 		return engine.Result{}, err
@@ -379,11 +417,30 @@ func (p *Prepared) QueryContext(ctx context.Context, statement string) (Result, 
 // replacing the DB-wide default, so a serving layer can map each
 // request's deadline onto the executor's budget.
 func (p *Prepared) QueryWithBudget(ctx context.Context, statement string, b Budget) (Result, error) {
-	if err := p.live("query"); err != nil {
+	plan, err := p.PlanQuery(statement)
+	if err != nil {
 		return Result{}, err
 	}
-	plan, err := exec.PlanQueryStatement(p.proc, p.tbl, statement)
-	if err != nil {
+	return p.RunPlan(ctx, plan, b)
+}
+
+// PlanQuery parses and compiles a statement into a closed-form AQP++
+// plan without running it (the plan-once counterpart of Query; see
+// DB.PlanExact). It fails with the unknown-table kind if the
+// preparation was invalidated by DB.Drop.
+func (p *Prepared) PlanQuery(statement string) (*exec.Plan, error) {
+	if err := p.live("query"); err != nil {
+		return nil, err
+	}
+	return exec.PlanQueryStatement(p.proc, p.tbl, statement)
+}
+
+// RunPlan executes a plan built by PlanQuery or PlanBootstrap under the
+// context and an explicit budget. The liveness check runs again here,
+// so a preparation dropped between planning and running still refuses
+// to answer.
+func (p *Prepared) RunPlan(ctx context.Context, plan *exec.Plan, b Budget) (Result, error) {
+	if err := p.live(plan.Kind.String()); err != nil {
 		return Result{}, err
 	}
 	return p.runWithBudget(ctx, plan, b)

@@ -53,6 +53,49 @@ func TestRegisterAndDrop(t *testing.T) {
 	}
 }
 
+// TestGeneration pins the monotone per-name counter the serving layer's
+// response cache keys on: +1 on every Register and every effective
+// Drop, never reused, untouched by no-op drops and failed registers.
+func TestGeneration(t *testing.T) {
+	db := NewDB()
+	tbl := demoTable(100, 1)
+	if got := db.Generation("demo"); got != 0 {
+		t.Fatalf("unregistered generation = %d, want 0", got)
+	}
+	if err := db.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Generation("demo"); got != 1 {
+		t.Fatalf("after register: generation = %d, want 1", got)
+	}
+	// A rejected duplicate registration must not move the counter.
+	if err := db.Register(tbl); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if got := db.Generation("demo"); got != 1 {
+		t.Errorf("after failed register: generation = %d, want 1", got)
+	}
+	db.Drop("demo")
+	if got := db.Generation("demo"); got != 2 {
+		t.Errorf("after drop: generation = %d, want 2", got)
+	}
+	// Dropping a name that is not registered is a no-op for the counter.
+	db.Drop("demo")
+	if got := db.Generation("demo"); got != 2 {
+		t.Errorf("after no-op drop: generation = %d, want 2", got)
+	}
+	if err := db.Register(demoTable(50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Generation("demo"); got != 3 {
+		t.Errorf("after re-register: generation = %d, want 3 (never reused)", got)
+	}
+	// Generations are per name.
+	if got := db.Generation("other"); got != 0 {
+		t.Errorf("unrelated name generation = %d, want 0", got)
+	}
+}
+
 func TestExact(t *testing.T) {
 	db := NewDB()
 	if err := db.Register(demoTable(1000, 2)); err != nil {

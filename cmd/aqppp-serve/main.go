@@ -1,7 +1,10 @@
 // Command aqppp-serve exposes one table behind the HTTP query API in
 // internal/server: exact SQL over POST /v1/query, AQP++ approximate
 // answers over POST /v1/approx, handle management over /v1/prepare and
-// DELETE /v1/prepared/{name}, plus /healthz, /readyz and /statusz.
+// DELETE /v1/prepared/{name}, plus /healthz, /readyz, /statusz, and a
+// Prometheus /metrics endpoint. Responses are cached (tune with
+// -cache-bytes/-cache-ttl) and per-client quotas are available with
+// -quota-rps.
 //
 // Usage:
 //
@@ -58,6 +61,11 @@ func run() int {
 	maxResamples := flag.Int("max-resamples", 100000, "cap on bootstrap resamples per request (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight queries")
 	drainPause := flag.Duration("drain-pause", 0, "keep accepting this long after /readyz flips to 503")
+	cacheBytes := flag.Int64("cache-bytes", 0, "response cache size in bytes (0 = 32 MiB default, negative = disable)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "response cache entry TTL (0 = 60s default, negative = no age expiry)")
+	quotaRPS := flag.Float64("quota-rps", 0, "per-client sustained requests/second for cache-missing requests (0 = no quotas)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-client burst depth (0 = 2x quota-rps, min 1)")
+	quotaMaxClients := flag.Int("quota-max-clients", 0, "max tracked client buckets (0 = 4096)")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	flag.Parse()
 
@@ -73,12 +81,17 @@ func run() int {
 	}
 
 	cfg := server.Config{
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxResamples:   *maxResamples,
-		DrainPause:     *drainPause,
+		MaxConcurrent:   *maxConc,
+		MaxQueue:        *maxQueue,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxResamples:    *maxResamples,
+		DrainPause:      *drainPause,
+		CacheMaxBytes:   *cacheBytes,
+		CacheTTL:        *cacheTTL,
+		QuotaRate:       *quotaRPS,
+		QuotaBurst:      *quotaBurst,
+		QuotaMaxClients: *quotaMaxClients,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

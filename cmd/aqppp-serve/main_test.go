@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -16,11 +17,28 @@ import (
 	"time"
 )
 
+// The smoke server's traffic shape, named so the assertions below can
+// reason about them instead of repeating magic numbers: smokeBurst
+// concurrent heavy queries against a smokeConcurrent-slot gate with a
+// smokeQueue-seat queue must shed, and a single client gets
+// smokeQuotaBurst immediate cache-missing requests before its bucket
+// runs dry (refill is smokeQuotaRPS, slow enough that a sequential
+// loop cannot sneak extra tokens).
+const (
+	smokeConcurrent = 1
+	smokeQueue      = 1
+	smokeBurst      = 8
+	smokeQuotaRPS   = 0.2
+	smokeQuotaBurst = 2
+)
+
 // TestServeBinarySmoke builds the real binary and exercises the serving
-// path end to end: startup, exact + approx answers, a shed burst
-// against a capacity-1 gate, and a clean SIGTERM drain (exit 0). It is
-// the scripted smoke in scripts/check.sh; set AQPPP_SERVER_SMOKE=1 to
-// run it.
+// path end to end: startup, exact + approx answers, a cached repeat, a
+// shed burst against the capacity gate (429 "overloaded"), a per-client
+// quota exhaustion (429 "quota-exceeded" — a different failure than
+// capacity), a /metrics scrape, and a clean SIGTERM drain (exit 0). It
+// is the scripted smoke in scripts/check.sh; set AQPPP_SERVER_SMOKE=1
+// to run it.
 func TestServeBinarySmoke(t *testing.T) {
 	if os.Getenv("AQPPP_SERVER_SMOKE") == "" {
 		t.Skip("set AQPPP_SERVER_SMOKE=1 to run the binary smoke test")
@@ -37,7 +55,10 @@ func TestServeBinarySmoke(t *testing.T) {
 		"-addr", "127.0.0.1:0",
 		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
 		"-sample-rate", "0.2", "-k", "500",
-		"-max-concurrent", "1", "-max-queue", "1",
+		"-max-concurrent", fmt.Sprint(smokeConcurrent),
+		"-max-queue", fmt.Sprint(smokeQueue),
+		"-quota-rps", fmt.Sprint(smokeQuotaRPS),
+		"-quota-burst", fmt.Sprint(smokeQuotaBurst),
 		"-max-resamples", "0",
 		"-drain-timeout", "10s", "-quiet",
 	)
@@ -80,20 +101,33 @@ func TestServeBinarySmoke(t *testing.T) {
 	}
 	base := "http://" + addr
 
-	post := func(path string, body any) (int, map[string]any) {
+	// post sends one JSON request as the named client (the X-Client-Id
+	// header is the quota key) and returns status, body, and headers.
+	post := func(client, path string, body any) (int, map[string]any, http.Header) {
 		t.Helper()
 		raw, err := json.Marshal(body)
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-Id", client)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatalf("POST %s: %v", path, err)
 		}
 		defer resp.Body.Close()
 		var out map[string]any
 		_ = json.NewDecoder(resp.Body).Decode(&out)
-		return resp.StatusCode, out
+		return resp.StatusCode, out, resp.Header
+	}
+	kindOf := func(body map[string]any) string {
+		e, _ := body["error"].(map[string]any)
+		k, _ := e["kind"].(string)
+		return k
 	}
 
 	type queryReq struct {
@@ -104,10 +138,10 @@ func TestServeBinarySmoke(t *testing.T) {
 	}
 
 	stmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000"
-	if code, body := post("/v1/query", queryReq{SQL: stmt}); code != http.StatusOK {
+	if code, body, _ := post("setup-exact", "/v1/query", queryReq{SQL: stmt}); code != http.StatusOK {
 		t.Fatalf("exact query = %d (%v)", code, body)
 	}
-	code, body := post("/v1/approx", queryReq{Prepared: "default", SQL: stmt})
+	code, body, _ := post("setup-approx", "/v1/approx", queryReq{Prepared: "default", SQL: stmt})
 	if code != http.StatusOK {
 		t.Fatalf("approx query = %d (%v)", code, body)
 	}
@@ -115,33 +149,100 @@ func TestServeBinarySmoke(t *testing.T) {
 		t.Errorf("approx body missing half_width: %v", body)
 	}
 
-	// Burst 8 heavy bootstrap queries at a 1-slot/1-seat gate: at least
-	// one must come back 429.
+	// A repeat of the exact statement — from a different client — is a
+	// cache hit: marked in the body and header, and free of quota.
+	code, body, hdr := post("repeat-reader", "/v1/query", queryReq{SQL: stmt})
+	if code != http.StatusOK {
+		t.Fatalf("cached repeat = %d (%v)", code, body)
+	}
+	if body["cached"] != true || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("repeat not served from cache: cached=%v X-Cache=%q", body["cached"], hdr.Get("X-Cache"))
+	}
+
+	// Capacity burst: smokeBurst concurrent heavy bootstrap queries,
+	// each a distinct statement from a distinct client so neither the
+	// cache nor any single quota bucket can absorb the load — only the
+	// smokeConcurrent-slot gate sheds, and it sheds "overloaded".
 	var mu sync.Mutex
 	counts := map[int]int{}
+	kinds := map[string]int{}
 	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
+	for i := 0; i < smokeBurst; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			code, _ := post("/v1/approx", queryReq{
-				Prepared: "default", SQL: stmt, Resamples: 2000, TimeoutMS: 30000,
+			burstStmt := fmt.Sprintf(
+				"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN %d AND 4000", 100+i)
+			code, body, _ := post(fmt.Sprintf("burst-%d", i), "/v1/approx", queryReq{
+				Prepared: "default", SQL: burstStmt, Resamples: 2000, TimeoutMS: 30000,
 			})
 			mu.Lock()
 			counts[code]++
+			if code == http.StatusTooManyRequests {
+				kinds[kindOf(body)]++
+			}
 			mu.Unlock()
-		}()
+		}(i)
 	}
 	wg.Wait()
 	if counts[http.StatusTooManyRequests] == 0 {
-		t.Errorf("burst of 8 against capacity 2 shed nothing: %v", counts)
+		t.Errorf("burst of %d against capacity %d+%d shed nothing: %v",
+			smokeBurst, smokeConcurrent, smokeQueue, counts)
 	}
 	if counts[http.StatusOK] == 0 {
-		t.Errorf("burst of 8 all failed: %v", counts)
+		t.Errorf("burst of %d all failed: %v", smokeBurst, counts)
 	}
 	for code := range counts {
 		if code != http.StatusOK && code != http.StatusTooManyRequests {
 			t.Errorf("unexpected status %d in burst: %v", code, counts)
+		}
+	}
+	if kinds["overloaded"] == 0 || kinds["quota-exceeded"] != 0 {
+		t.Errorf("capacity burst shed kinds = %v, want only overloaded", kinds)
+	}
+
+	// Quota exhaustion: one hog sends sequential distinct cheap queries,
+	// so the gate (which only sheds under concurrency) never fires — the
+	// 429s past the burst allowance are the quota's, and they say so.
+	quotaSheds := 0
+	for i := 0; i < smokeQuotaBurst+3; i++ {
+		hogStmt := fmt.Sprintf("SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN %d AND 500", i+1)
+		code, body, hdr := post("hog", "/v1/query", queryReq{SQL: hogStmt})
+		switch code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			quotaSheds++
+			if k := kindOf(body); k != "quota-exceeded" {
+				t.Errorf("hog shed kind = %q, want quota-exceeded (distinct from capacity)", k)
+			}
+			if hdr.Get("Retry-After") == "" {
+				t.Error("quota shed missing Retry-After")
+			}
+		default:
+			t.Errorf("hog request %d: status %d (%v)", i, code, body)
+		}
+	}
+	if quotaSheds == 0 {
+		t.Errorf("hog was never quota-shed after its burst of %d", smokeQuotaBurst)
+	}
+
+	// The scrape surface is up and carries the counters just exercised.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	_ = mresp.Body.Close()
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d err %v", mresp.StatusCode, err)
+	}
+	metrics := string(mdata)
+	for _, series := range []string{
+		"aqppp_cache_hits_total", "aqppp_quota_shed_total",
+		"aqppp_gate_shed_total", "aqppp_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("/metrics missing %s", series)
 		}
 	}
 
@@ -159,5 +260,5 @@ func TestServeBinarySmoke(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not exit after SIGTERM")
 	}
-	fmt.Fprintln(os.Stderr, "smoke: burst outcome", counts)
+	fmt.Fprintln(os.Stderr, "smoke: burst outcome", counts, "quota sheds", quotaSheds)
 }

@@ -47,14 +47,22 @@ func (p *Prepared) QueryBootstrapContext(ctx context.Context, statement string, 
 // per-call Budget replacing the DB-wide default: the budget's
 // MaxResamples and MaxScratchBytes caps apply to this one statement.
 func (p *Prepared) QueryBootstrapWithBudget(ctx context.Context, statement string, resamples int, b Budget) (Result, error) {
-	if err := p.live("bootstrap"); err != nil {
-		return Result{}, err
-	}
-	plan, err := exec.PlanBootstrapStatement(p.proc, p.tbl, statement, resamples, 0xb007)
+	plan, err := p.PlanBootstrap(statement, resamples)
 	if err != nil {
 		return Result{}, err
 	}
-	return p.runWithBudget(ctx, plan, b)
+	return p.RunPlan(ctx, plan, b)
+}
+
+// PlanBootstrap parses and compiles a statement into a bootstrap plan
+// without running it (the plan-once counterpart of QueryBootstrap; see
+// DB.PlanExact). The resample seed is fixed, so one statement at one
+// replicate count always builds the same plan — and the same cache key.
+func (p *Prepared) PlanBootstrap(statement string, resamples int) (*exec.Plan, error) {
+	if err := p.live("bootstrap"); err != nil {
+		return nil, err
+	}
+	return exec.PlanBootstrapStatement(p.proc, p.tbl, statement, resamples, 0xb007)
 }
 
 // MultiPrepareOptions configures PrepareMulti: several templates sharing

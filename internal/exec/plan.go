@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"aqppp/internal/core"
 	"aqppp/internal/engine"
@@ -61,6 +63,48 @@ type Plan struct {
 	// Workers bounds PlanExact parallelism; <= 1 runs the serial path
 	// (bit-identical to Table.Execute).
 	Workers int
+}
+
+// CacheKey renders the plan as a canonical string suitable for keying a
+// response cache: the answer path (kind), the table, and the compiled
+// query with its range conditions sorted, so two statements that parse
+// and compile to the same work — regardless of WHERE-clause order,
+// whitespace, or keyword case — share one key. Bootstrap plans fold the
+// replicate count and seed in (they change the interval), and GROUP BY
+// columns keep their order (it determines the group key rendering).
+// The key deliberately excludes the Budget: a budget changes whether a
+// plan completes, never what a completed plan answers.
+func (p *Plan) CacheKey() string {
+	var b strings.Builder
+	b.WriteString(p.Kind.String())
+	b.WriteByte('|')
+	b.WriteString(p.Table.Name)
+	b.WriteByte('|')
+	b.WriteString(p.Query.Func.String())
+	b.WriteByte('(')
+	b.WriteString(p.Query.Col)
+	b.WriteByte(')')
+	// Ranges are rendered first and sorted as strings: range order in a
+	// WHERE clause is semantically irrelevant (conjunction), and sorting
+	// the rendered form avoids comparing floats. %x renders the exact
+	// bits of each bound, so distinct bounds never collide.
+	rendered := make([]string, len(p.Query.Ranges))
+	for i, r := range p.Query.Ranges {
+		rendered[i] = fmt.Sprintf("%s:%x..%x", r.Col, r.Lo, r.Hi)
+	}
+	sort.Strings(rendered)
+	for _, r := range rendered {
+		b.WriteByte('|')
+		b.WriteString(r)
+	}
+	if len(p.Query.GroupBy) > 0 {
+		b.WriteString("|by:")
+		b.WriteString(strings.Join(p.Query.GroupBy, ","))
+	}
+	if p.Kind == PlanBootstrap {
+		fmt.Fprintf(&b, "|n=%d|seed=%d", p.Resamples, p.Seed)
+	}
+	return b.String()
 }
 
 // TableSource resolves table names for PlanExact. *aqppp.DB implements

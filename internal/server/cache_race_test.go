@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aqppp"
+	"aqppp/internal/engine"
+)
+
+// churnTable builds a table whose SUM(v) encodes its round: every row
+// carries v = round, so SUM(v) = rows × round and any reader can tell
+// exactly which table version answered it — a torn or stale answer is
+// arithmetically visible.
+func churnTable(rows, round int) *engine.Table {
+	v := make([]float64, rows)
+	for i := range v {
+		v[i] = float64(round)
+	}
+	return engine.MustNewTable("churn", engine.NewFloatColumn("v", v))
+}
+
+// TestServerCacheChurnRace is the -race acceptance test for cache
+// invalidation: a writer churns Drop/re-Register with round-stamped
+// tables while readers hammer the same statement (maximizing cache
+// traffic). Correctness bar: no data race, every answer decodes to an
+// exact whole round, and each reader's observed round never moves
+// backward — a cached answer from a dropped table's generation would
+// read as a round regression and fail here.
+func TestServerCacheChurnRace(t *testing.T) {
+	const (
+		rows    = 256
+		rounds  = 60
+		readers = 4
+	)
+	db := aqppp.NewDB()
+	if err := db.Register(churnTable(rows, 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db, Config{MaxConcurrent: 4, MaxQueue: 32})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+
+	// Writer: replace the table with the next round's, never reusing a
+	// round number.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for r := 2; r <= rounds; r++ {
+			db.Drop("churn")
+			if err := db.Register(churnTable(rows, r)); err != nil {
+				t.Errorf("register round %d: %v", r, err)
+				return
+			}
+		}
+	}()
+
+	body, _ := json.Marshal(QueryRequest{SQL: "SELECT SUM(v) FROM churn"})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := ts.Client()
+			lastRound := 0
+			for !stop.Load() {
+				resp, err := c.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("reader post: %v", err)
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				_ = resp.Body.Close()
+				if err != nil {
+					t.Errorf("reader read: %v", err)
+					return
+				}
+				if resp.StatusCode == http.StatusNotFound {
+					// Mid-churn gap between Drop and re-Register.
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader status %d: %s", resp.StatusCode, data)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(data, &qr); err != nil {
+					t.Errorf("reader decode: %v", err)
+					return
+				}
+				round := int(math.Round(qr.Value / rows))
+				if round < 1 || round > rounds || math.Abs(qr.Value-float64(round*rows)) > 0.5 {
+					t.Errorf("torn answer: SUM = %v is not rows×round", qr.Value)
+					return
+				}
+				// Tables only move forward; serving an earlier round after
+				// a later one means a poisoned cache entry got out.
+				if round < lastRound {
+					t.Errorf("round moved backward %d -> %d (cached=%v): stale cache entry served",
+						lastRound, round, qr.Cached)
+					return
+				}
+				lastRound = round
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-churn the cache must be coherent: the final round's answer,
+	// then a hit for the same.
+	c := ts.Client()
+	for i := 0; i < 2; i++ {
+		resp, err := c.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if got := int(math.Round(qr.Value / rows)); got != rounds {
+			t.Fatalf("post-churn answer %d, want final round %d", got, rounds)
+		}
+	}
+	if st := srv.cache.Stats(); st.Hits == 0 {
+		t.Error("churn race never exercised a cache hit; test lost its teeth")
+	}
+}

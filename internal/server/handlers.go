@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
 
 	"aqppp"
+	"aqppp/internal/exec"
 )
 
 // reqInfo travels with one request through the handler chain.
@@ -49,6 +51,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statusz", s.instrument("/statusz", s.handleStatusz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 }
 
 // instrument assigns the request ID, captures the status, and feeds the
@@ -113,6 +116,59 @@ func (s *Server) writeShed(w http.ResponseWriter, ri *reqInfo, o *Overload) {
 		RequestID:    ri.id,
 		RetryAfterMS: int64(o.RetryAfter / time.Millisecond),
 	}})
+}
+
+// clientKey identifies the client for quota accounting: the explicit
+// X-Client-Id header when present (multiplexing proxies set it per
+// tenant), otherwise the remote host without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// allowQuota runs one cache-missing request through the per-client
+// token bucket. On rejection it has written the 429 — kind
+// "quota-exceeded", distinct from the gate's "overloaded", so clients
+// and dashboards can tell "you are hot" from "the server is full" —
+// and the caller must return.
+func (s *Server) allowQuota(w http.ResponseWriter, r *http.Request, ri *reqInfo) bool {
+	if s.quota == nil {
+		return true
+	}
+	ok, wait := s.quota.Allow(clientKey(r), time.Now())
+	if ok {
+		return true
+	}
+	s.met.observeKind("quota-exceeded")
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: ErrorDetail{
+		Kind:         "quota-exceeded",
+		Message:      "per-client quota exceeded; retry after backoff",
+		RequestID:    ri.id,
+		RetryAfterMS: int64(wait / time.Millisecond),
+	}})
+	return false
+}
+
+// writeCached serves a response straight from the cache: fresh request
+// ID and elapsed time (the cached ones describe the request that
+// computed the answer, not this one), Cached flag set, and an X-Cache
+// header so clients can tell without parsing the body.
+func (s *Server) writeCached(w http.ResponseWriter, ri *reqInfo, resp QueryResponse) {
+	resp.RequestID = ri.id
+	resp.Cached = true
+	resp.ElapsedMS = toMS(time.Since(ri.start))
+	w.Header().Set("X-Cache", "hit")
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // decode reads a JSON body into v, answering 400 (kind "parse") on
@@ -184,10 +240,40 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ri *reqInfo, time
 }
 
 // handleQuery answers POST /v1/query: an exact scan with the request's
-// deadline mapped onto the executor budget.
+// deadline mapped onto the executor budget. The statement is planned
+// once — the plan yields the canonical cache key, a hit is served in
+// front of the quota and the admission gate, and a miss runs the same
+// plan (no second parse).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	var req QueryRequest
 	if !s.decode(w, r, ri, &req) {
+		return
+	}
+	plan, err := s.db.PlanExact(req.SQL)
+	if err != nil {
+		s.writeError(w, ri, err)
+		return
+	}
+	key := plan.CacheKey()
+	// The generation is captured before the query runs: if the table
+	// churns mid-flight, the entry we Put below can never match a later
+	// Get and is stillborn rather than stale. One window remains — a
+	// churn between the plan resolving its table pointer and this capture
+	// would pair the old table's answer with the new generation — so the
+	// pointer is re-checked after the capture; on a mismatch this request
+	// simply skips the cache (correct answer, just not cached).
+	gen := s.db.Generation(plan.Table.Name)
+	cacheable := true
+	if tbl, ok := s.db.LookupTable(plan.Table.Name); !ok || tbl != plan.Table {
+		cacheable = false
+	}
+	if cacheable {
+		if resp, hit := s.cache.Get(key, gen); hit {
+			s.writeCached(w, ri, resp)
+			return
+		}
+	}
+	if !s.allowQuota(w, r, ri) {
 		return
 	}
 	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
@@ -199,12 +285,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, ri *reqInfo
 		h(r.Context())
 	}
 	t0 := time.Now()
-	res, err := s.db.ExactWithBudget(r.Context(), req.SQL, budget)
+	res, err := s.db.RunExactPlan(r.Context(), plan, budget)
 	if err != nil {
 		s.writeError(w, ri, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, exactResponse(ri.id, res, time.Since(t0)))
+	resp := exactResponse(ri.id, res, time.Since(t0))
+	if cacheable {
+		s.cache.Put(key, gen, resp)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleApprox answers POST /v1/approx through a named prepared handle,
@@ -219,10 +309,37 @@ func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request, ri *reqInf
 			`missing "prepared": /v1/approx answers through a named handle (build one with /v1/prepare)`)
 		return
 	}
-	prep, found := s.lookupPrepared(req.Prepared)
+	prep, epoch, found := s.lookupPrepared(req.Prepared)
 	if !found {
 		s.writeServerError(w, ri, http.StatusNotFound, "unknown-prepared",
 			fmt.Sprintf("no prepared handle %q", req.Prepared))
+		return
+	}
+	var plan *exec.Plan
+	var err error
+	if req.Resamples > 0 {
+		plan, err = prep.PlanBootstrap(req.SQL, req.Resamples)
+	} else {
+		plan, err = prep.PlanQuery(req.SQL)
+	}
+	if err != nil {
+		s.writeError(w, ri, err)
+		return
+	}
+	// The key folds in the handle name and its epoch: two handles over
+	// the same table answer with different samples/cubes, and a dropped
+	// and rebuilt handle must never serve its predecessor's answers.
+	// No pointer re-check is needed here (unlike handleQuery): a table
+	// churn before the generation capture poisons the preparation, so
+	// RunPlan's liveness re-check below refuses to answer; a churn after
+	// the capture leaves the Put stillborn.
+	key := fmt.Sprintf("%s|h=%s@%d", plan.CacheKey(), req.Prepared, epoch)
+	gen := s.db.Generation(prep.TableName())
+	if resp, hit := s.cache.Get(key, gen); hit {
+		s.writeCached(w, ri, resp)
+		return
+	}
+	if !s.allowQuota(w, r, ri) {
 		return
 	}
 	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
@@ -234,18 +351,14 @@ func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request, ri *reqInf
 		h(r.Context())
 	}
 	t0 := time.Now()
-	var res aqppp.Result
-	var err error
-	if req.Resamples > 0 {
-		res, err = prep.QueryBootstrapWithBudget(r.Context(), req.SQL, req.Resamples, budget)
-	} else {
-		res, err = prep.QueryWithBudget(r.Context(), req.SQL, budget)
-	}
+	res, err := prep.RunPlan(r.Context(), plan, budget)
 	if err != nil {
 		s.writeError(w, ri, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, approxResponse(ri.id, res, time.Since(t0)))
+	resp := approxResponse(ri.id, res, time.Since(t0))
+	s.cache.Put(key, gen, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePrepare answers POST /v1/prepare: builds a preparation under
@@ -260,9 +373,14 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request, ri *reqIn
 		s.writeServerError(w, ri, http.StatusBadRequest, "parse", `missing "name" for the prepared handle`)
 		return
 	}
-	if _, taken := s.lookupPrepared(req.Name); taken {
+	if _, _, taken := s.lookupPrepared(req.Name); taken {
 		s.writeServerError(w, ri, http.StatusConflict, "conflict",
 			fmt.Sprintf("prepared handle %q already exists (DELETE /v1/prepared/%s first)", req.Name, req.Name))
+		return
+	}
+	// Prepares are never cached (they mutate server state), so the quota
+	// applies to every one.
+	if !s.allowQuota(w, r, ri) {
 		return
 	}
 	release, budget, ok := s.admit(w, r, ri, req.TimeoutMS)
@@ -341,21 +459,36 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // per-endpoint latency histograms.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	eps, kinds := s.met.snapshot()
-	s.writeJSON(w, http.StatusOK, StatuszResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Ready:         s.ready.Load(),
-		Draining:      s.draining.Load(),
-		InFlight:      s.gate.InFlight(),
-		Queued:        s.gate.Queued(),
-		ServedTotal:   s.gate.Served(),
-		ShedTotal:     s.gate.Shed(),
-		QueuedTotal:   s.gate.QueuedTotal(),
-		Limit:         s.gate.Limit(),
-		Tables:        sortedTables(s.db),
-		Prepared:      s.preparedNames(),
-		ErrorKinds:    kinds,
-		Endpoints:     eps,
-	})
+	resp := StatuszResponse{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Ready:          s.ready.Load(),
+		Draining:       s.draining.Load(),
+		InFlight:       s.gate.InFlight(),
+		Queued:         s.gate.Queued(),
+		ServedTotal:    s.gate.Served(),
+		ShedTotal:      s.gate.Shed(),
+		QueuedTotal:    s.gate.QueuedTotal(),
+		Limit:          s.gate.Limit(),
+		Tables:         sortedTables(s.db),
+		Prepared:       s.preparedNames(),
+		QuotaShedTotal: s.quota.Shed(),
+		QuotaClients:   s.quota.Clients(),
+		ErrorKinds:     kinds,
+		Endpoints:      eps,
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &CacheStatusJSON{
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+			Entries:       cs.Entries,
+			Bytes:         cs.Bytes,
+			MaxBytes:      cs.MaxBytes,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // sortedTables lists the DB's tables in stable order.

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the Prometheus text-format (version 0.0.4) encoder for
+// GET /metrics, hand-rolled on the stdlib: each family gets its # HELP
+// and # TYPE line followed by its series, label values are escaped, and
+// the latency histograms re-render the same log10(µs) buckets /statusz
+// reports as cumulative le-bound buckets in seconds. /statusz stays the
+// JSON surface for humans and tests; /metrics is the scrape surface.
+
+// promEscape escapes a label value per the text-format rules.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// promHead writes one family's HELP and TYPE lines.
+func promHead(b *bytes.Buffer, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// promFloat renders a sample value (integers stay integral).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEndpoint is one endpoint's metrics snapshot in deterministic
+// (sorted) order for rendering.
+type promEndpoint struct {
+	name     string
+	requests int64
+	sumUS    float64
+	statuses []promStatus
+	buckets  []int64 // raw per-bucket counts over log10(µs)
+}
+
+// promStatus is one (status code, count) pair.
+type promStatus struct {
+	code  int
+	count int64
+}
+
+// promKind is one (error kind, count) pair.
+type promKind struct {
+	name  string
+	count int64
+}
+
+// promSnapshot renders the registry into sorted slices so the text
+// output is deterministic run to run.
+func (m *metrics) promSnapshot() (eps []promEndpoint, kinds []promKind) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		em := m.endpoints[name]
+		pe := promEndpoint{
+			name:     name,
+			requests: em.requests,
+			sumUS:    em.sumUS,
+			buckets:  append([]int64(nil), em.latency.Counts...),
+		}
+		codes := make([]int, 0, len(em.statuses))
+		for code := range em.statuses {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			pe.statuses = append(pe.statuses, promStatus{code: code, count: em.statuses[code]})
+		}
+		eps = append(eps, pe)
+	}
+	kindNames := make([]string, 0, len(m.kinds))
+	for k := range m.kinds {
+		kindNames = append(kindNames, k)
+	}
+	sort.Strings(kindNames)
+	for _, k := range kindNames {
+		kinds = append(kinds, promKind{name: k, count: m.kinds[k]})
+	}
+	return eps, kinds
+}
+
+// renderMetrics encodes the whole serving surface as Prometheus text.
+func (s *Server) renderMetrics() []byte {
+	var b bytes.Buffer
+
+	promHead(&b, "aqppp_uptime_seconds", "gauge", "Seconds since the server started.")
+	fmt.Fprintf(&b, "aqppp_uptime_seconds %s\n", promFloat(time.Since(s.start).Seconds()))
+
+	promHead(&b, "aqppp_ready", "gauge", "1 while the server accepts new work, 0 once draining.")
+	ready := 0
+	if s.ready.Load() {
+		ready = 1
+	}
+	fmt.Fprintf(&b, "aqppp_ready %d\n", ready)
+
+	// Admission gate.
+	promHead(&b, "aqppp_gate_in_flight", "gauge", "Requests currently holding an admission slot.")
+	fmt.Fprintf(&b, "aqppp_gate_in_flight %d\n", s.gate.InFlight())
+	promHead(&b, "aqppp_gate_queued", "gauge", "Requests currently waiting for an admission slot.")
+	fmt.Fprintf(&b, "aqppp_gate_queued %d\n", s.gate.Queued())
+	promHead(&b, "aqppp_gate_limit", "gauge", "Concurrency limit of the admission gate.")
+	fmt.Fprintf(&b, "aqppp_gate_limit %d\n", s.gate.Limit())
+	promHead(&b, "aqppp_gate_served_total", "counter", "Requests that completed gated work.")
+	fmt.Fprintf(&b, "aqppp_gate_served_total %d\n", s.gate.Served())
+	promHead(&b, "aqppp_gate_shed_total", "counter", "Requests shed by the admission gate (capacity or deadline).")
+	fmt.Fprintf(&b, "aqppp_gate_shed_total %d\n", s.gate.Shed())
+	promHead(&b, "aqppp_gate_queued_total", "counter", "Requests that waited in the admission queue.")
+	fmt.Fprintf(&b, "aqppp_gate_queued_total %d\n", s.gate.QueuedTotal())
+
+	// Response cache.
+	cs := s.cache.Stats()
+	promHead(&b, "aqppp_cache_hits_total", "counter", "Response cache hits (served without touching the gate).")
+	fmt.Fprintf(&b, "aqppp_cache_hits_total %d\n", cs.Hits)
+	promHead(&b, "aqppp_cache_misses_total", "counter", "Response cache misses.")
+	fmt.Fprintf(&b, "aqppp_cache_misses_total %d\n", cs.Misses)
+	promHead(&b, "aqppp_cache_evictions_total", "counter", "Response cache entries evicted by size or TTL.")
+	fmt.Fprintf(&b, "aqppp_cache_evictions_total %d\n", cs.Evictions)
+	promHead(&b, "aqppp_cache_invalidations_total", "counter", "Response cache entries dropped on a table-generation mismatch.")
+	fmt.Fprintf(&b, "aqppp_cache_invalidations_total %d\n", cs.Invalidations)
+	promHead(&b, "aqppp_cache_entries", "gauge", "Response cache resident entries.")
+	fmt.Fprintf(&b, "aqppp_cache_entries %d\n", cs.Entries)
+	promHead(&b, "aqppp_cache_bytes", "gauge", "Response cache resident bytes (accounting estimate).")
+	fmt.Fprintf(&b, "aqppp_cache_bytes %d\n", cs.Bytes)
+
+	// Per-client quota.
+	promHead(&b, "aqppp_quota_shed_total", "counter", "Requests shed for exceeding a per-client quota.")
+	fmt.Fprintf(&b, "aqppp_quota_shed_total %d\n", s.quota.Shed())
+	promHead(&b, "aqppp_quota_clients", "gauge", "Client token buckets currently tracked.")
+	fmt.Fprintf(&b, "aqppp_quota_clients %d\n", s.quota.Clients())
+
+	eps, kinds := s.met.promSnapshot()
+
+	// Error kinds.
+	promHead(&b, "aqppp_errors_total", "counter", "Errors by taxonomy kind.")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "aqppp_errors_total{kind=\"%s\"} %d\n", promEscape(k.name), k.count)
+	}
+
+	// Per-endpoint request counters.
+	promHead(&b, "aqppp_http_requests_total", "counter", "HTTP requests by endpoint and status code.")
+	for _, ep := range eps {
+		for _, st := range ep.statuses {
+			fmt.Fprintf(&b, "aqppp_http_requests_total{endpoint=\"%s\",status=\"%d\"} %d\n",
+				promEscape(ep.name), st.code, st.count)
+		}
+	}
+
+	// Latency histograms. The registry buckets log10(latency µs) with
+	// fixed width; bucket i covers [10^(min+i·w), 10^(min+(i+1)·w)) µs,
+	// so the le bound after bucket i is 10^(min+(i+1)·w)/1e6 seconds.
+	// The final bucket is the registry's clamp bucket (it absorbs
+	// everything ≥ its lower bound), so it folds into +Inf rather than
+	// pretending to have a finite upper bound.
+	promHead(&b, "aqppp_http_request_duration_seconds", "histogram", "Request wall time by endpoint (log-scale buckets, 1µs–1s).")
+	width := (latLogMax - latLogMin) / float64(latBuckets)
+	for _, ep := range eps {
+		name := promEscape(ep.name)
+		var cum int64
+		for i := 0; i < latBuckets-1; i++ {
+			cum += ep.buckets[i]
+			le := math.Pow(10, latLogMin+float64(i+1)*width) / 1e6
+			fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_bucket{endpoint=\"%s\",le=\"%s\"} %d\n",
+				name, promFloat(le), cum)
+		}
+		fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_bucket{endpoint=\"%s\",le=\"+Inf\"} %d\n",
+			name, ep.requests)
+		fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_sum{endpoint=\"%s\"} %s\n",
+			name, promFloat(ep.sumUS/1e6))
+		fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_count{endpoint=\"%s\"} %d\n",
+			name, ep.requests)
+	}
+	return b.Bytes()
+}
+
+// handleMetrics answers GET /metrics with the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(s.renderMetrics())
+}

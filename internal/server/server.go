@@ -42,6 +42,22 @@ type Config struct {
 	MaxScratchBytes int64
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// CacheMaxBytes bounds the response cache's total entry size
+	// (default 32 MiB; negative disables caching entirely).
+	CacheMaxBytes int64
+	// CacheTTL bounds a cached response's age (default 60s; negative
+	// disables age-based expiry — entries still churn by LRU and are
+	// invalidated by table generation on Drop/re-Register).
+	CacheTTL time.Duration
+	// QuotaRate enables per-client fairness: each client sustains this
+	// many cache-missing requests per second (0 disables quotas).
+	QuotaRate float64
+	// QuotaBurst is the per-client token-bucket depth (default
+	// max(1, ceil(2×QuotaRate))).
+	QuotaBurst int
+	// QuotaMaxClients bounds tracked client buckets (default 4096; the
+	// least-recently-seen client is evicted past it).
+	QuotaMaxClients int
 	// AccessLog receives one line per request (nil = no access log).
 	AccessLog io.Writer
 }
@@ -49,12 +65,14 @@ type Config struct {
 // Server wraps one *aqppp.DB behind the HTTP API. Create with New,
 // start with Serve, stop with Shutdown.
 type Server struct {
-	db   *aqppp.DB
-	cfg  Config
-	gate *Gate
-	mux  *http.ServeMux
-	hs   *http.Server
-	met  *metrics
+	db    *aqppp.DB
+	cfg   Config
+	gate  *Gate
+	mux   *http.ServeMux
+	hs    *http.Server
+	met   *metrics
+	cache *Cache // nil when caching is disabled
+	quota *Quota // nil when quotas are disabled
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -67,6 +85,12 @@ type Server struct {
 
 	prepMu   sync.Mutex
 	prepared map[string]*aqppp.Prepared
+	// prepEpoch counts (re)registrations per handle name, bumped on
+	// both RegisterPrepared and dropPrepared. The response cache folds
+	// the epoch into /v1/approx keys, so deleting a handle and building
+	// a new one under the same name can never serve the old handle's
+	// cached answers.
+	prepEpoch map[string]uint64
 
 	// baseCancel hard-cancels every in-flight request's context when
 	// the drain deadline passes; set by Serve.
@@ -92,14 +116,36 @@ func New(db *aqppp.DB, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.CacheMaxBytes == 0 {
+		cfg.CacheMaxBytes = 32 << 20
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = time.Minute
+	}
+	if cfg.QuotaMaxClients <= 0 {
+		cfg.QuotaMaxClients = 4096
+	}
+	if cfg.QuotaBurst <= 0 {
+		cfg.QuotaBurst = int(2 * cfg.QuotaRate)
+		if cfg.QuotaBurst < 1 {
+			cfg.QuotaBurst = 1
+		}
+	}
 	s := &Server{
-		db:       db,
-		cfg:      cfg,
-		gate:     NewGate(cfg.MaxConcurrent, cfg.MaxQueue),
-		mux:      http.NewServeMux(),
-		met:      newMetrics(),
-		start:    time.Now(),
-		prepared: make(map[string]*aqppp.Prepared),
+		db:        db,
+		cfg:       cfg,
+		gate:      NewGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		mux:       http.NewServeMux(),
+		met:       newMetrics(),
+		start:     time.Now(),
+		prepared:  make(map[string]*aqppp.Prepared),
+		prepEpoch: make(map[string]uint64),
+	}
+	if cfg.CacheMaxBytes > 0 {
+		s.cache = NewCache(cfg.CacheMaxBytes, cfg.CacheTTL)
+	}
+	if cfg.QuotaRate > 0 {
+		s.quota = NewQuota(cfg.QuotaRate, cfg.QuotaBurst, cfg.QuotaMaxClients)
 	}
 	s.idPrefix = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
 	s.routes()
@@ -123,15 +169,17 @@ func (s *Server) RegisterPrepared(name string, p *aqppp.Prepared) error {
 		return fmt.Errorf("server: prepared handle %q already exists", name)
 	}
 	s.prepared[name] = p
+	s.prepEpoch[name]++
 	return nil
 }
 
-// lookupPrepared resolves a handle name.
-func (s *Server) lookupPrepared(name string) (*aqppp.Prepared, bool) {
+// lookupPrepared resolves a handle name to the handle and its current
+// epoch (see prepEpoch).
+func (s *Server) lookupPrepared(name string) (*aqppp.Prepared, uint64, bool) {
 	s.prepMu.Lock()
 	defer s.prepMu.Unlock()
 	p, ok := s.prepared[name]
-	return p, ok
+	return p, s.prepEpoch[name], ok
 }
 
 // dropPrepared forgets a handle, reporting whether it existed.
@@ -139,7 +187,10 @@ func (s *Server) dropPrepared(name string) bool {
 	s.prepMu.Lock()
 	defer s.prepMu.Unlock()
 	_, ok := s.prepared[name]
-	delete(s.prepared, name)
+	if ok {
+		delete(s.prepared, name)
+		s.prepEpoch[name]++
+	}
 	return ok
 }
 

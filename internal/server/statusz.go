@@ -24,6 +24,9 @@ type endpointMetrics struct {
 	requests int64
 	statuses map[int]int64
 	latency  *stats.Histogram // over log10(µs)
+	// sumUS accumulates total latency so the Prometheus histogram can
+	// emit its _sum series (the JSON histogram does not need it).
+	sumUS float64
 }
 
 // metrics is the server's status registry: per-endpoint latency
@@ -59,6 +62,7 @@ func (m *metrics) observe(endpoint string, status int, latencyUS float64) {
 	if latencyUS < 1 {
 		latencyUS = 1
 	}
+	em.sumUS += latencyUS
 	em.latency.Add(math.Log10(latencyUS))
 }
 
@@ -95,21 +99,38 @@ type EndpointJSON struct {
 	LatencyUS []LatencyBucketJSON `json:"latency_us"`
 }
 
-// StatuszResponse is the body of GET /statusz.
+// CacheStatusJSON is the response cache's statusz entry.
+type CacheStatusJSON struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"max_bytes"`
+}
+
+// StatuszResponse is the body of GET /statusz. ShedTotal counts
+// capacity sheds only (the admission gate); quota sheds are the
+// distinct QuotaShedTotal — the two answer different operational
+// questions ("server full" vs "client hot").
 type StatuszResponse struct {
-	UptimeSeconds float64                 `json:"uptime_seconds"`
-	Ready         bool                    `json:"ready"`
-	Draining      bool                    `json:"draining"`
-	InFlight      int64                   `json:"in_flight"`
-	Queued        int64                   `json:"queued"`
-	ServedTotal   int64                   `json:"served_total"`
-	ShedTotal     int64                   `json:"shed_total"`
-	QueuedTotal   int64                   `json:"queued_total"`
-	Limit         int                     `json:"concurrency_limit"`
-	Tables        []string                `json:"tables"`
-	Prepared      []string                `json:"prepared"`
-	ErrorKinds    map[string]int64        `json:"error_kinds,omitempty"`
-	Endpoints     map[string]EndpointJSON `json:"endpoints"`
+	UptimeSeconds  float64                 `json:"uptime_seconds"`
+	Ready          bool                    `json:"ready"`
+	Draining       bool                    `json:"draining"`
+	InFlight       int64                   `json:"in_flight"`
+	Queued         int64                   `json:"queued"`
+	ServedTotal    int64                   `json:"served_total"`
+	ShedTotal      int64                   `json:"shed_total"`
+	QueuedTotal    int64                   `json:"queued_total"`
+	Limit          int                     `json:"concurrency_limit"`
+	Tables         []string                `json:"tables"`
+	Prepared       []string                `json:"prepared"`
+	Cache          *CacheStatusJSON        `json:"cache,omitempty"`
+	QuotaShedTotal int64                   `json:"quota_shed_total"`
+	QuotaClients   int                     `json:"quota_clients"`
+	ErrorKinds     map[string]int64        `json:"error_kinds,omitempty"`
+	Endpoints      map[string]EndpointJSON `json:"endpoints"`
 }
 
 // snapshot renders the registry for /statusz.

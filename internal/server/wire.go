@@ -17,6 +17,15 @@
 //	GET    /healthz            liveness (always 200 while the process serves)
 //	GET    /readyz             readiness (503 once draining)
 //	GET    /statusz            uptime, traffic counters, latency histograms
+//	GET    /metrics            the same counters in Prometheus text format
+//
+// In front of the admission gate sit a response cache (LRU by bytes,
+// TTL, invalidated by table generation and prepared-handle epoch — see
+// cache.go) and a per-client token-bucket quota (quota.go): a repeated
+// query is answered from the cache without consuming gate capacity or
+// quota tokens, and a client hammering distinct queries exhausts its
+// own bucket (429, kind "quota-exceeded") before it can crowd the
+// shared queue.
 package server
 
 import (
@@ -76,7 +85,11 @@ type QueryResponse struct {
 	UsedPrecomputed bool        `json:"used_precomputed,omitempty"`
 	Pre             string      `json:"pre,omitempty"`
 	Groups          []GroupJSON `json:"groups,omitempty"`
-	ElapsedMS       float64     `json:"elapsed_ms"`
+	// Cached marks an answer served from the response cache (mirrored in
+	// the X-Cache: hit header); ElapsedMS then measures the lookup, not
+	// the original computation.
+	Cached    bool    `json:"cached,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // PrepareRequest is the body of POST /v1/prepare; it mirrors
@@ -115,8 +128,10 @@ type ErrorBody struct {
 // ErrorDetail carries the machine-readable failure: Kind is either an
 // aqppp.ErrorKind string ("parse", "unknown-table", "unsupported",
 // "canceled", "budget-exceeded", "internal") or one of the server-level
-// kinds "overloaded" (shed by admission control), "unknown-prepared"
-// (no such handle), and "conflict" (handle name taken).
+// kinds "overloaded" (shed by admission control), "quota-exceeded"
+// (shed by the per-client quota — the server has capacity, this client
+// is over its rate), "unknown-prepared" (no such handle), and
+// "conflict" (handle name taken).
 type ErrorDetail struct {
 	Kind      string `json:"kind"`
 	Message   string `json:"message"`

@@ -1,0 +1,183 @@
+// Command benchguard compares `go test -bench` output against the
+// recorded baselines in BENCH_engine.json. It reads the raw benchmark
+// output (a file argument or stdin), takes the per-benchmark median
+// across repeated runs (-count=N), and flags any benchmark whose median
+// ns/op exceeds baseline × tolerance.
+//
+// By default violations are reported but the exit status stays 0: CI
+// runs on noisy shared runners where a hard perf gate would flake, so
+// the job uploads the raw output as an artifact and this report makes
+// regressions visible in the log instead of red. Pass -strict to turn
+// violations into a non-zero exit (for quiet, dedicated hardware).
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchtime 5x -count=5 ./internal/engine | tee bench.txt
+//	go run ./scripts/benchguard.go -baseline BENCH_engine.json bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors BENCH_engine.json.
+type baselineFile struct {
+	Description string `json:"description"`
+	Benchmarks  []struct {
+		Name      string  `json:"name"`
+		AfterNsOp float64 `json:"after_ns_op"`
+		Note      string  `json:"note"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_engine.json", "baseline JSON file")
+	tolerance := fs.Float64("tolerance", 1.5, "allowed median/baseline ratio before a benchmark is flagged")
+	strict := fs.Bool("strict", false, "exit non-zero on violations (default: report only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		in = f
+	}
+
+	samples, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchguard: %v\n", err)
+		return 2
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(stderr, "benchguard: no benchmark lines in input")
+		return 2
+	}
+
+	violations := 0
+	missing := 0
+	for _, b := range base.Benchmarks {
+		runs := samples[b.Name]
+		if len(runs) == 0 {
+			fmt.Fprintf(stdout, "MISSING %-36s baseline %.0f ns/op, no runs in input\n", b.Name, b.AfterNsOp)
+			missing++
+			continue
+		}
+		med := median(runs)
+		ratio := med / b.AfterNsOp
+		status := "ok"
+		if ratio > *tolerance {
+			status = "SLOW"
+			violations++
+		}
+		fmt.Fprintf(stdout, "%-7s %-36s median %12.0f ns/op  baseline %12.0f  ratio %.2fx (runs %d)\n",
+			status, b.Name, med, b.AfterNsOp, ratio, len(runs))
+	}
+	for name := range samples {
+		if !baselineHas(base, name) {
+			fmt.Fprintf(stdout, "NEW     %-36s no baseline recorded (%d runs)\n", name, len(samples[name]))
+		}
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(stdout, "benchguard: %d benchmark(s) above %.2fx tolerance\n", violations, *tolerance)
+		if *strict {
+			return 1
+		}
+		fmt.Fprintln(stdout, "benchguard: non-strict mode — reporting only (shared-runner noise tolerated)")
+	}
+	if missing > 0 && *strict {
+		return 1
+	}
+	return 0
+}
+
+func baselineHas(base baselineFile, name string) bool {
+	for _, b := range base.Benchmarks {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBenchOutput extracts (name, ns/op) samples from `go test -bench`
+// output. Benchmark names are normalized by stripping the -GOMAXPROCS
+// suffix so they match the baseline's recorded names.
+func parseBenchOutput(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Shape: BenchmarkName-8  N  123456 ns/op [extra metrics...]
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], ns)
+	}
+	return out, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

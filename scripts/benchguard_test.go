@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+goarch: amd64
+BenchmarkEngineFilterClustered-8    5    35000 ns/op
+BenchmarkEngineFilterClustered-8    5    37000 ns/op
+BenchmarkEngineGroupByInt-8         5  6000000 ns/op  123 B/op  4 allocs/op
+not a benchmark line
+PASS
+`)
+	got, err := parseBenchOutput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkEngineFilterClustered"]) != 2 {
+		t.Errorf("FilterClustered runs = %v, want 2 samples", got["BenchmarkEngineFilterClustered"])
+	}
+	if len(got["BenchmarkEngineGroupByInt"]) != 1 {
+		t.Errorf("GroupByInt runs = %v, want 1 sample", got["BenchmarkEngineGroupByInt"])
+	}
+	if len(got) != 2 {
+		t.Errorf("parsed %d names, want 2: %v", len(got), got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got < c.want-1e-9 || got > c.want+1e-9 {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRunStrictVsLenient drives the full tool: a benchmark 10x over
+// baseline passes in the default (report-only) mode and fails with
+// -strict.
+func TestRunStrictVsLenient(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(baseline, []byte(`{
+		"benchmarks": [{"name": "BenchmarkX", "after_ns_op": 1000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(bench, []byte("BenchmarkX-4  5  10000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", baseline, bench}, nil, &out, &errOut); code != 0 {
+		t.Errorf("lenient mode exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "SLOW") {
+		t.Errorf("lenient mode did not report the regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, "-strict", bench}, nil, &out, &errOut); code != 1 {
+		t.Errorf("strict mode exit = %d, want 1\n%s", code, out.String())
+	}
+
+	// A healthy run exits 0 in both modes.
+	if err := os.WriteFile(bench, []byte("BenchmarkX-4  5  900 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, "-strict", bench}, nil, &out, &errOut); code != 0 {
+		t.Errorf("healthy strict exit = %d, want 0\n%s", code, out.String())
+	}
+
+	// A missing baseline file is a usage error, not a silent pass.
+	if code := run([]string{"-baseline", filepath.Join(dir, "nope.json"), bench}, nil, &out, &errOut); code != 2 {
+		t.Errorf("missing baseline exit = %d, want 2", code)
+	}
+}

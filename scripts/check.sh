@@ -35,13 +35,20 @@ echo "==> cancellation flake hunt (-race -run Cancel -count=5)"
 # ordering-dependent flakes before they reach CI.
 go test -race -run Cancel -count=5 ./...
 
-echo "==> server smoke (build, serve, query, shed, drain)"
-# Exercises the real aqppp-serve binary end to end: build it, serve a
-# small demo table on a random port, answer one exact and one approx
-# query, burst past the capacity-1 admission gate expecting 429s, then
-# SIGTERM and require a clean drain (exit 0). Gated behind the env var
-# so `go test ./...` above stays fast.
-AQPPP_SERVER_SMOKE=1 go test -race -count=1 -run TestServeBinarySmoke ./cmd/aqppp-serve
+if [ "${AQPPP_SKIP_SERVER_SMOKE:-}" = "1" ]; then
+    echo "==> server smoke skipped (AQPPP_SKIP_SERVER_SMOKE=1)"
+else
+    echo "==> server smoke (build, serve, query, cache hit, shed, quota, drain)"
+    # Exercises the real aqppp-serve binary end to end: build it, serve a
+    # small demo table on a random port, answer one exact and one approx
+    # query, repeat one for a cache hit, burst distinct clients past the
+    # capacity-1 admission gate expecting 429 "overloaded", exhaust one
+    # client's token bucket expecting 429 "quota-exceeded" (the two sheds
+    # must stay distinguishable), scrape /metrics, then SIGTERM and
+    # require a clean drain (exit 0). Gated behind the env var so
+    # `go test ./...` above stays fast; CI runs it on one matrix leg only.
+    AQPPP_SERVER_SMOKE=1 go test -race -count=1 -run TestServeBinarySmoke ./cmd/aqppp-serve
+fi
 
 echo "==> engine bench smoke (benchtime 1x)"
 # One iteration per benchmark: catches kernel-path panics/regressions in

@@ -1,0 +1,29 @@
+#!/bin/sh
+# coverage.sh — test coverage with a ratcheted floor.
+# Profiles every non-testdata package, prints the per-package and total
+# figures, and fails if the total drops below scripts/coverage_floor.txt
+# (a plain number, e.g. "75.0"). Raise the floor when coverage grows;
+# never lower it to make a regression pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+floor=$(cat scripts/coverage_floor.txt)
+profile="${COVER_PROFILE:-coverage.out}"
+
+pkgs=$(go list ./... | grep -v testdata)
+
+echo "==> go test -coverprofile over $(echo "$pkgs" | wc -l | tr -d ' ') packages"
+# shellcheck disable=SC2086 -- package list is intentionally word-split
+go test -coverprofile="$profile" $pkgs
+
+echo "==> totals"
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage: ${total}% (floor ${floor}%)"
+
+# awk handles the float comparison portably (sh has no float arithmetic).
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage ${total}% is below the floor ${floor}%" >&2
+    exit 1
+fi
+echo "coverage floor satisfied"
