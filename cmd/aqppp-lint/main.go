@@ -1,18 +1,47 @@
 // Command aqppp-lint runs the repo's custom static analyzer (see
 // internal/lint) over the given package patterns and reports invariant
-// violations: nondeterminism in the numeric core, float equality,
-// dropped errors, library panics, goroutine loop-variable captures, and
-// lock copies.
+// violations. The rule set spans plain AST walks (nondeterminism in the
+// numeric core, float equality, dropped errors, library panics,
+// goroutine loop-variable captures, lock copies, ctx-first signatures)
+// and flow-aware analyses built on the CFG/dataflow framework in
+// internal/lint/cfg (lock-balance, cancel-leak, guarded-field,
+// atomic-mix, ctx-propagation).
 //
 // Usage:
 //
-//	aqppp-lint [-json] [-allowlist file] [patterns...]
+//	aqppp-lint [-json] [-lenient] [-allowlist file] [patterns...]
 //
 // Patterns are directories, optionally ending in /... for a subtree;
 // the default is ./... from the current directory. Unless -allowlist is
 // given, a lint.allow file at the enclosing module root is loaded when
-// present. Exit status: 0 clean, 1 diagnostics reported, 2 usage or
-// load failure.
+// present.
+//
+// After analysis the allowlist is checked for staleness: an entry whose
+// file pattern matched loaded files but which suppressed no diagnostic
+// is dead weight and is reported. -lenient downgrades stale entries
+// from an error to a warning (for use mid-refactor, never in CI).
+//
+// Exit status is a contract that scripts/check.sh and CI rely on:
+//
+//	0 — clean: no diagnostics, no stale allowlist entries
+//	1 — findings: diagnostics reported, or stale allowlist entries
+//	    found (unless -lenient)
+//	2 — operational failure: bad usage, unreadable allowlist, or a
+//	    package that fails to parse or type-check
+//
+// With -json, output is a single object (schema_version 1):
+//
+//	{
+//	  "schema_version": 1,
+//	  "diagnostics": [{"rule","file","line","col","message"}, ...],
+//	  "counts": {"<rule>": n, ...},
+//	  "stale_allowlist": ["line 12: ...", ...]
+//	}
+//
+// counts holds one key per rule that fired; map keys serialize sorted,
+// so the output is byte-stable for a given tree. The schema_version
+// field only changes when a consumer-visible field is renamed, removed,
+// or retyped — adding fields is not a version bump.
 package main
 
 import (
@@ -26,13 +55,25 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON report object instead of text")
+	lenient := flag.Bool("lenient", false, "warn on stale allowlist entries instead of failing")
 	allowPath := flag.String("allowlist", "", "allowlist file (default: lint.allow at the module root, if present)")
 	flag.Parse()
-	os.Exit(run(*jsonOut, *allowPath, flag.Args()))
+	os.Exit(run(*jsonOut, *lenient, *allowPath, flag.Args()))
 }
 
-func run(jsonOut bool, allowPath string, patterns []string) int {
+// jsonReport is the -json output shape. Bump schemaVersion only on
+// incompatible changes (renames/removals), per the package doc.
+type jsonReport struct {
+	SchemaVersion  int               `json:"schema_version"`
+	Diagnostics    []lint.Diagnostic `json:"diagnostics"`
+	Counts         map[string]int    `json:"counts"`
+	StaleAllowlist []string          `json:"stale_allowlist,omitempty"`
+}
+
+const schemaVersion = 1
+
+func run(jsonOut, lenient bool, allowPath string, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -58,13 +99,26 @@ func run(jsonOut bool, allowPath string, patterns []string) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, lint.Rules(), allow)
+	var stale []string
+	if allow != nil {
+		stale = allow.Stale(pkgs)
+	}
 	if jsonOut {
+		rep := jsonReport{
+			SchemaVersion:  schemaVersion,
+			Diagnostics:    diags,
+			Counts:         make(map[string]int),
+			StaleAllowlist: stale,
+		}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []lint.Diagnostic{}
+		}
+		for _, d := range diags {
+			rep.Counts[d.Rule]++
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "aqppp-lint:", err)
 			return 2
 		}
@@ -73,13 +127,32 @@ func run(jsonOut bool, allowPath string, patterns []string) int {
 			fmt.Println(d)
 		}
 	}
+	for _, s := range stale {
+		level := "stale allowlist entry"
+		if lenient {
+			level = "warning: stale allowlist entry"
+		}
+		fmt.Fprintf(os.Stderr, "aqppp-lint: %s: %s: %s\n", level, allowPath, s)
+	}
 	if len(diags) > 0 {
 		if !jsonOut {
 			fmt.Fprintf(os.Stderr, "aqppp-lint: %d violation(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 		return 1
 	}
+	if len(stale) > 0 && !lenient {
+		fmt.Fprintf(os.Stderr, "aqppp-lint: %d stale allowlist entr%s; prune %s or rerun with -lenient\n",
+			len(stale), plural(len(stale), "y", "ies"), allowPath)
+		return 1
+	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // defaultAllowlist returns the lint.allow path at the module root

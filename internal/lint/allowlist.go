@@ -18,6 +18,12 @@ import (
 // message for the entry to apply. Blank lines and lines starting with
 // '#' are comments — every entry is expected to carry one explaining why
 // the finding is acceptable.
+//
+// Entries record whether they matched anything during a Run; Stale
+// returns the ones that suppressed nothing, so suppressions cannot
+// outlive the findings they were written for. Allows mutates that state,
+// so an Allowlist must not be shared across concurrent Runs — Run calls
+// it only from its serial merge phase.
 type Allowlist struct {
 	entries []allowEntry
 }
@@ -26,6 +32,12 @@ type allowEntry struct {
 	rule    string
 	pattern string
 	substr  string
+	// line is the 1-based line number in the source file, raw its
+	// original text — both only for reporting stale entries.
+	line int
+	raw  string
+	// used is set by Allows when the entry suppresses a diagnostic.
+	used bool
 }
 
 // ParseAllowlist parses allowlist text.
@@ -40,7 +52,7 @@ func ParseAllowlist(data []byte) (*Allowlist, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("allowlist line %d: need \"<rule> <file-pattern> [substring]\", got %q", i+1, line)
 		}
-		e := allowEntry{rule: fields[0], pattern: fields[1]}
+		e := allowEntry{rule: fields[0], pattern: fields[1], line: i + 1, raw: line}
 		if len(fields) > 2 {
 			e.substr = strings.Join(fields[2:], " ")
 		}
@@ -65,9 +77,12 @@ func LoadAllowlist(file string) (*Allowlist, error) {
 	return a, nil
 }
 
-// Allows reports whether d matches an allowlist entry.
+// Allows reports whether d matches an allowlist entry, marking every
+// matching entry used. Not safe for concurrent use.
 func (a *Allowlist) Allows(d Diagnostic) bool {
-	for _, e := range a.entries {
+	hit := false
+	for i := range a.entries {
+		e := &a.entries[i]
 		if e.rule != "*" && e.rule != d.Rule {
 			continue
 		}
@@ -77,7 +92,42 @@ func (a *Allowlist) Allows(d Diagnostic) bool {
 		if e.substr != "" && !strings.Contains(d.Message, e.substr) {
 			continue
 		}
-		return true
+		e.used = true
+		hit = true
 	}
-	return false
+	return hit
+}
+
+// Stale returns a description of every entry that (a) was never marked
+// used by Allows since parsing and (b) is in scope — its file pattern
+// matches at least one file of the loaded packages. Condition (b) keeps
+// subset lints honest: running the analyzer over one subtree (or over
+// the testdata modules in the self-test) must not condemn entries whose
+// files were simply not loaded. Call after Run.
+func (a *Allowlist) Stale(pkgs []*Package) []string {
+	var files []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			files = append(files, relPath(pkg.ModDir, pkg.Fset.Position(f.Pos()).Filename))
+		}
+	}
+	var stale []string
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.used {
+			continue
+		}
+		inScope := false
+		for _, file := range files {
+			if ok, _ := path.Match(e.pattern, file); ok || e.pattern == file {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		stale = append(stale, fmt.Sprintf("line %d: %q matches no current diagnostic", e.line, e.raw))
+	}
+	return stale
 }

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixRule reports struct fields touched both through sync/atomic
+// operations (atomic.LoadInt64(&s.n), atomic.AddUint32(&s.hits), ...)
+// and through plain reads or writes. Mixing the two is a data race
+// the race detector only catches when the schedule cooperates: the
+// plain access tears or reorders against the atomic one. The fix is
+// to make every access atomic (or migrate the field to the typed
+// atomic.Int64-style wrappers, which make bare access impossible).
+//
+// Scope is the package: the atomic sites establish the field's
+// discipline, then every plain access of the same field is flagged —
+// including reads, because a torn or stale read is exactly the bug.
+// Accesses whose address is taken for an atomic call are the
+// sanctioned sites; taking the address for any other purpose is
+// flagged too (a pointer escape defeats atomicity tracking).
+type AtomicMixRule struct{}
+
+// Name implements Rule.
+func (AtomicMixRule) Name() string { return "atomic-mix" }
+
+// Check implements Rule.
+func (AtomicMixRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	// Pass 1: find fields accessed via sync/atomic functions, and
+	// remember the exact selector nodes that are sanctioned.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := selectedField(pkg, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call.Pos()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: flag every other access of those fields.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fv := selectedField(pkg, sel)
+			if fv == nil {
+				return true
+			}
+			first, isAtomic := atomicFields[fv]
+			if !isAtomic {
+				return true
+			}
+			line := pkg.Fset.Position(first).Line
+			report(sel.Sel.Pos(), fmt.Sprintf("field %s is accessed with sync/atomic (e.g. line %d) but read/written directly here; make every access atomic",
+				fv.Name(), line))
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports calls into sync/atomic's function API.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// selectedField resolves a selector to the struct field it reads, or
+// nil for methods, package selectors, and non-field selections.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}

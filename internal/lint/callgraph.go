@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+)
+
+// Module aggregates every package loaded for one analyzer run plus
+// the cross-package indexes rules share. Rules that need more than
+// their own package (guarded-field's "is this method only ever called
+// with the lock held?" question) implement ModuleRule and receive the
+// Module before any Check call.
+type Module struct {
+	Pkgs []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// ModuleRule is implemented by rules that need module-wide context in
+// addition to the per-package Check walk. Prepare is called exactly
+// once, before any Check, with the full package set.
+type ModuleRule interface {
+	Rule
+	Prepare(m *Module)
+}
+
+// Graph returns the module-wide call graph, built on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = buildCallGraph(m.Pkgs) })
+	return m.graph
+}
+
+// PackageOf returns the loaded Package whose type-checked package is
+// tp, or nil.
+func (m *Module) PackageOf(tp *types.Package) *Package {
+	for _, p := range m.Pkgs {
+		if p.Types == tp {
+			return p
+		}
+	}
+	return nil
+}
+
+// CallSite is one static call of a function or method.
+type CallSite struct {
+	// Pkg is the package containing the call.
+	Pkg *Package
+	// Caller is the declared function or method lexically enclosing
+	// the call; nil for calls in package-level variable initializers.
+	Caller *types.Func
+	// CallerDecl is Caller's declaration (nil when Caller is nil).
+	CallerDecl *ast.FuncDecl
+	// Call is the call expression itself.
+	Call *ast.CallExpr
+	// InFuncLit reports that the call sits inside a function literal
+	// under CallerDecl — it executes at some later time, so flow
+	// facts computed at the literal's position do not apply to it.
+	InFuncLit bool
+	// Direct is true for static dispatch (named function, concrete
+	// method); false for edges added by interface method-set
+	// expansion, where the callee is one of possibly many
+	// implementations.
+	Direct bool
+}
+
+// CallGraph maps every module-declared function/method to its static
+// call sites across the module. Dynamic dispatch through interfaces
+// is expanded via go/types method sets: a call to an interface method
+// adds an indirect site to every module type that implements the
+// interface. Calls through plain function values are not tracked —
+// rules treating "no known call sites" as "unknown callers" stay
+// conservative for them by checking HasDynamic.
+type CallGraph struct {
+	sites map[*types.Func][]CallSite
+	// dynamic records functions whose address is taken (assigned,
+	// passed, or returned as a value), meaning the static site list
+	// is incomplete.
+	dynamic map[*types.Func]bool
+}
+
+// SitesOf returns the known static call sites of f.
+func (g *CallGraph) SitesOf(f *types.Func) []CallSite {
+	return g.sites[f]
+}
+
+// HasDynamic reports whether f escapes as a value (method value,
+// function value), making its call-site list incomplete.
+func (g *CallGraph) HasDynamic(f *types.Func) bool {
+	return g.dynamic[f]
+}
+
+// buildCallGraph walks every package once, recording direct calls,
+// interface-dispatch expansions, and value escapes.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		sites:   make(map[*types.Func][]CallSite),
+		dynamic: make(map[*types.Func]bool),
+	}
+	// Collect the module's named types once for method-set expansion.
+	var named []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := tn.Type().(*types.Named); ok {
+					named = append(named, n)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, _ := decl.(*ast.FuncDecl)
+				var caller *types.Func
+				var callerDecl *ast.FuncDecl
+				if fd != nil {
+					caller, _ = pkg.Info.Defs[fd.Name].(*types.Func)
+					callerDecl = fd
+				}
+				root := ast.Node(decl)
+				depth := 0
+				ast.Inspect(root, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncLit:
+						depth++
+						// Walk the literal manually so depth tracking
+						// pairs push/pop correctly.
+						ast.Inspect(n.Body, func(inner ast.Node) bool {
+							if call, ok := inner.(*ast.CallExpr); ok {
+								g.addCall(pkg, caller, callerDecl, call, true, named)
+							}
+							g.noteEscapes(pkg, inner)
+							return true
+						})
+						depth--
+						return false
+					case *ast.CallExpr:
+						g.addCall(pkg, caller, callerDecl, n, depth > 0, named)
+					}
+					g.noteEscapes(pkg, n)
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// addCall resolves the call's callee and records the site.
+func (g *CallGraph) addCall(pkg *Package, caller *types.Func, callerDecl *ast.FuncDecl, call *ast.CallExpr, inLit bool, named []*types.Named) {
+	site := CallSite{Pkg: pkg, Caller: caller, CallerDecl: callerDecl, Call: call, InFuncLit: inLit, Direct: true}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			g.sites[fn] = append(g.sites[fn], site)
+		}
+	case *ast.SelectorExpr:
+		sel, ok := pkg.Info.Selections[fun]
+		if !ok {
+			// Qualified identifier pkg.Func.
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				g.sites[fn] = append(g.sites[fn], site)
+			}
+			return
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return
+		}
+		recv := sel.Recv()
+		if types.IsInterface(recv) {
+			// Interface dispatch: expand over the module's method
+			// sets. The concrete target is unknown, so every
+			// implementing type's method gains an indirect site.
+			iface, _ := recv.Underlying().(*types.Interface)
+			if iface == nil {
+				return
+			}
+			indirect := site
+			indirect.Direct = false
+			for _, n := range named {
+				impl := implementsVia(n, iface)
+				if impl == nil {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, n.Obj().Pkg(), fn.Name())
+				if m, ok := obj.(*types.Func); ok {
+					g.sites[m] = append(g.sites[m], indirect)
+				}
+			}
+			return
+		}
+		g.sites[fn] = append(g.sites[fn], site)
+	}
+}
+
+// implementsVia returns the receiver type (n or *n) through which n
+// implements iface, or nil.
+func implementsVia(n *types.Named, iface *types.Interface) types.Type {
+	if types.Implements(n, iface) {
+		return n
+	}
+	if p := types.NewPointer(n); types.Implements(p, iface) {
+		return p
+	}
+	return nil
+}
+
+// noteEscapes records functions referenced as values (not in call
+// position), which makes their call-site lists incomplete.
+func (g *CallGraph) noteEscapes(pkg *Package, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		for _, arg := range n.Args {
+			g.markIfFunc(pkg, arg)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			g.markIfFunc(pkg, rhs)
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			g.markIfFunc(pkg, v)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			g.markIfFunc(pkg, r)
+		}
+	case *ast.CompositeLit:
+		for _, e := range n.Elts {
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				g.markIfFunc(pkg, kv.Value)
+			} else {
+				g.markIfFunc(pkg, e)
+			}
+		}
+	}
+}
+
+func (g *CallGraph) markIfFunc(pkg *Package, e ast.Expr) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+			g.dynamic[fn] = true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			g.dynamic[fn] = true
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aqppp/internal/lint/cfg"
+)
+
+// CancelLeakRule reports context.CancelFuncs that are not called on
+// every path: a cancel obtained from context.WithCancel, WithTimeout,
+// or WithDeadline (and their ...Cause variants) that some path to a
+// normal return neither calls, defers, nor hands off. An uncalled
+// cancel pins the child context's timer and goroutine until the
+// parent dies — the serving layer's per-request contexts would leak
+// one timer per request.
+//
+// The obligation is discharged by ANY use of the cancel variable
+// other than its defining assignment: a call (cancel()), a defer, a
+// capture by a closure, passing it onward, storing it, or returning
+// it — one-sided in the caller's favor, because every such use moves
+// responsibility somewhere this intraprocedural rule cannot follow.
+// Assigning the cancel to the blank identifier is reported
+// immediately. Paths into panic are ignored, matching lock-balance.
+type CancelLeakRule struct{}
+
+// Name implements Rule.
+func (CancelLeakRule) Name() string { return "cancel-leak" }
+
+// Check implements Rule.
+func (CancelLeakRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		funcBodies(f, func(name string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+			checkCancelLeak(pkg, name, body, report)
+		})
+	}
+}
+
+// cancelFacts maps each undischarged cancel variable to the position
+// and name of the context constructor that produced it.
+type cancelFacts map[types.Object]cancelOrigin
+
+type cancelOrigin struct {
+	pos  token.Pos
+	fn   string // "context.WithCancel" etc.
+	name string // variable name
+}
+
+func checkCancelLeak(pkg *Package, fname string, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	// Blank-assigned cancels are unconditional leaks; report them in
+	// a plain pre-pass so the dataflow transfer stays pure.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own funcBodies visit
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		if fn := contextWithFunc(pkg, as.Rhs[0]); fn != "" {
+			if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+				report(as.Rhs[0].Pos(),
+					fmt.Sprintf("the cancel func returned by %s is discarded; the context's resources leak until the parent is canceled", fn))
+			}
+		}
+		return true
+	})
+	g := cfg.New(body)
+	clone := func(f cancelFacts) cancelFacts {
+		out := make(cancelFacts, len(f))
+		for k, v := range f {
+			out[k] = v
+		}
+		return out
+	}
+	fwd := &cfg.Forward[cancelFacts]{
+		Entry: cancelFacts{},
+		Merge: func(a, b cancelFacts) cancelFacts {
+			out := clone(a)
+			for k, v := range b {
+				out[k] = v // union: undischarged on any path counts
+			}
+			return out
+		},
+		Equal: func(a, b cancelFacts) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+		TransferNode: func(n ast.Node, in cancelFacts) cancelFacts {
+			out := in
+			mutated := false
+			mutate := func() cancelFacts {
+				if !mutated {
+					out = clone(in)
+					mutated = true
+				}
+				return out
+			}
+			// New obligations: assignments whose RHS is a With*
+			// context constructor. The cancel is the second LHS.
+			var defined types.Object
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) == 2 {
+				if fn := contextWithFunc(pkg, as.Rhs[0]); fn != "" {
+					if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+						obj := pkg.Info.Defs[id]
+						if obj == nil {
+							obj = pkg.Info.Uses[id]
+						}
+						if obj != nil {
+							mutate()[obj] = cancelOrigin{pos: as.Rhs[0].Pos(), fn: fn, name: id.Name}
+							defined = obj
+						}
+					}
+				}
+			}
+			// Discharges: any use of a tracked cancel variable other
+			// than the definition we just processed. Function
+			// literals are scanned too — a closure capturing cancel
+			// takes over the obligation. Exception: "_ = cancel"
+			// hands responsibility to no one (it is the idiom that
+			// silences the compiler around a real leak), so blank
+			// assignments do not discharge.
+			blankRHS := make(map[*ast.Ident]bool)
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+				for i, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+						if rid, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident); ok {
+							blankRHS[rid] = true
+						}
+					}
+				}
+			}
+			ast.Inspect(n, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok || blankRHS[id] {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil || obj == defined {
+					// The defining occurrence (a "=" rebind) is not a
+					// discharge of the obligation it just created.
+					return true
+				}
+				if _, tracked := out[obj]; tracked {
+					delete(mutate(), obj)
+				}
+				return true
+			})
+			return out
+		},
+	}
+	res := fwd.Run(g)
+	type finding struct {
+		origin  cancelOrigin
+		retLine int
+	}
+	found := make(map[token.Pos]finding)
+	for _, pred := range g.Exit.Preds {
+		if !res.Has[pred.Index] {
+			continue
+		}
+		fact := res.AtNode(pred, len(pred.Nodes))
+		if len(fact) == 0 {
+			continue
+		}
+		retLine := 0
+		if n := len(pred.Nodes); n > 0 {
+			if ret, ok := pred.Nodes[n-1].(*ast.ReturnStmt); ok {
+				retLine = pkg.Fset.Position(ret.Pos()).Line
+			}
+		}
+		for _, origin := range fact {
+			if prev, ok := found[origin.pos]; ok && prev.retLine != 0 && (retLine == 0 || prev.retLine <= retLine) {
+				continue
+			}
+			found[origin.pos] = finding{origin: origin, retLine: retLine}
+		}
+	}
+	poss := make([]token.Pos, 0, len(found))
+	for pos := range found {
+		poss = append(poss, pos)
+	}
+	sortPos(poss)
+	for _, pos := range poss {
+		f := found[pos]
+		where := "the end of " + fname
+		if f.retLine != 0 {
+			where = fmt.Sprintf("the return at line %d", f.retLine)
+		}
+		report(pos, fmt.Sprintf("%s returned by %s is not called or deferred on the path to %s",
+			f.origin.name, f.origin.fn, where))
+	}
+}
+
+// contextWithFunc reports whether e is a call to a context
+// constructor returning a CancelFunc, and which one.
+func contextWithFunc(pkg *Package, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline",
+		"WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return "context." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxPropRule enforces context propagation: a function that receives
+// a ctx parameter must not call a context-less sibling when a
+// "...Context" variant exists in the same package. Calling the bare
+// variant silently severs the cancellation chain — the callee runs
+// on context.Background(), outliving the request deadline the caller
+// was given. PR 3 introduced the paired API convention
+// (Query/QueryContext and friends); this rule keeps every layer
+// honest about using it.
+//
+// The sibling lookup is exact: for a call to F (package function) or
+// x.M (method), a function FContext / method MContext on the same
+// type, in the same package, whose first parameter is a
+// context.Context. Calls inside function literals count too — the
+// literal closes over the ctx and could pass it. The wrappers
+// themselves (Query delegating to QueryContext with
+// context.Background()) have no ctx parameter, so they are never
+// flagged.
+type CtxPropRule struct{}
+
+// Name implements Rule.
+func (CtxPropRule) Name() string { return "ctx-propagation" }
+
+// Check implements Rule.
+func (CtxPropRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasCtxParam(pkg, fd.Type.Params) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxCall(pkg, call, report)
+				return true
+			})
+		}
+	}
+}
+
+// hasCtxParam reports whether the parameter list contains a
+// context.Context.
+func hasCtxParam(pkg *Package, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		if isContextExpr(pkg, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxCall flags a call whose callee has a ...Context sibling.
+func checkCtxCall(pkg *Package, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	fn := staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() != pkg.Types {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesCtx(sig) {
+		return
+	}
+	sibling := contextSibling(pkg, fn)
+	if sibling == nil {
+		return
+	}
+	report(call.Pos(), fmt.Sprintf("call to %s drops the caller's ctx; use %s", fn.Name(), sibling.Name()))
+}
+
+// staticCallee resolves a call to a statically-known function or
+// method declared somewhere (not a builtin, not a function value).
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// signatureTakesCtx reports whether any parameter is a
+// context.Context.
+func signatureTakesCtx(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if named, ok := params.At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// contextSibling finds fn's ...Context variant: same package, same
+// receiver type (for methods), name fn.Name()+"Context", first
+// parameter a context.Context.
+func contextSibling(pkg *Package, fn *types.Func) *types.Func {
+	want := fn.Name() + "Context"
+	sig := fn.Type().(*types.Signature)
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		obj, _, _ = types.LookupFieldOrMethod(t, true, pkg.Types, want)
+	} else {
+		obj = pkg.Types.Scope().Lookup(want)
+	}
+	sfn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	ssig, ok := sfn.Type().(*types.Signature)
+	if !ok || ssig.Params().Len() == 0 {
+		return nil
+	}
+	first, ok := ssig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	o := first.Obj()
+	if o.Pkg() == nil || o.Pkg().Path() != "context" || o.Name() != "Context" {
+		return nil
+	}
+	return sfn
+}

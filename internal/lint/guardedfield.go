@@ -1,0 +1,455 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"aqppp/internal/lint/cfg"
+)
+
+// GuardedFieldRule reports struct fields that the code treats as
+// mutex-guarded in some methods but touches bare in others. A field
+// written at least once with the receiver's mutex held, and accessed
+// under that mutex in two or more distinct methods, establishes a
+// guarding convention; any access outside the mutex then reads or
+// writes racy state, and those bare sites are flagged.
+//
+// Guardedness is a must-analysis over each method's CFG: the access
+// counts as guarded only when a lock rooted at the receiver
+// (recv.mu.Lock(), or recv.Lock() for an embedded mutex) is held on
+// EVERY path reaching it; a deferred Unlock keeps the lock held until
+// return. RLock counts as guarding for reads and writes alike (the
+// mix of RLock-write is a different bug, left to the race detector).
+//
+// One-hop interprocedural refinement via the module call graph: a
+// method whose every static call site sits in another method of the
+// same type with the lock held (and which never escapes as a value)
+// is a locked-section helper — its accesses are guarded, not bare.
+// The "...Locked" naming convention is honored the same way.
+//
+// Accesses inside go-statement closures are classified bare (they run
+// concurrently by construction); other function literals are skipped
+// as unknown. Mutex, WaitGroup, Once, and sync/atomic-typed fields
+// are never candidates. See DESIGN.md §11 for the false-positive
+// policy.
+type GuardedFieldRule struct {
+	mu     sync.Mutex
+	module *Module
+	// heldCache memoizes per-function must-analyses used when
+	// checking call sites of locked-section helpers.
+	heldCache map[*ast.FuncDecl]*heldResult
+}
+
+type heldResult struct {
+	g   *cfg.Graph
+	res *cfg.Result[lockFacts]
+}
+
+// Name implements Rule.
+func (*GuardedFieldRule) Name() string { return "guarded-field" }
+
+// Prepare implements ModuleRule.
+func (r *GuardedFieldRule) Prepare(m *Module) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.module = m
+	r.heldCache = make(map[*ast.FuncDecl]*heldResult)
+}
+
+// fieldAccess is one receiver-field touch inside a method.
+type fieldAccess struct {
+	method string // method name
+	decl   *ast.FuncDecl
+	pos    token.Pos
+	held   bool
+	write  bool
+}
+
+// Check implements Rule.
+func (r *GuardedFieldRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, tname := range structsWithMutex(pkg) {
+		r.checkType(pkg, tname, report)
+	}
+}
+
+// structsWithMutex returns the package's named struct types that
+// carry a sync.Mutex or sync.RWMutex field (named or embedded).
+func structsWithMutex(pkg *Package) []*types.TypeName {
+	var out []*types.TypeName
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutexType(st.Field(i).Type()) {
+				out = append(out, tn)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func isSyncMutexType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// excludedFieldType reports field types that are synchronization
+// primitives themselves: guarded-field does not apply to them.
+func excludedFieldType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return true
+	case "sync/atomic":
+		return true
+	}
+	return false
+}
+
+func (r *GuardedFieldRule) checkType(pkg *Package, tname *types.TypeName, report func(pos token.Pos, msg string)) {
+	st := tname.Type().Underlying().(*types.Struct)
+	fieldSet := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !excludedFieldType(f.Type()) {
+			fieldSet[f] = true
+		}
+	}
+	// Collect accesses method by method.
+	accesses := make(map[*types.Var][]fieldAccess)
+	methodDecls := make(map[string]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if receiverTypeName(pkg, fd) != tname {
+				continue
+			}
+			methodDecls[fd.Name.Name] = fd
+			r.collectAccesses(pkg, fd, fieldSet, accesses)
+		}
+	}
+	// Aggregate and report per field, in declaration order for
+	// deterministic output.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		accs := accesses[f]
+		if len(accs) == 0 {
+			continue
+		}
+		guardedMethods := make(map[string]bool)
+		heldWrite := false
+		for _, a := range accs {
+			if a.held {
+				guardedMethods[a.method] = true
+				if a.write {
+					heldWrite = true
+				}
+			}
+		}
+		if len(guardedMethods) < 2 || !heldWrite {
+			continue // no established guarding convention
+		}
+		exempt := make(map[string]bool)
+		for _, a := range accs {
+			if !a.held && !exempt[a.method] && r.lockedSectionHelper(pkg, tname, a.decl) {
+				exempt[a.method] = true
+			}
+		}
+		mu := mutexFieldLabel(st)
+		for _, a := range accs {
+			if a.held || exempt[a.method] {
+				continue
+			}
+			report(a.pos, fmt.Sprintf("field %s.%s is guarded by %s in %d methods (%s) but accessed here without holding it",
+				tname.Name(), f.Name(), mu, len(guardedMethods), joinSorted(guardedMethods)))
+		}
+	}
+}
+
+// receiverTypeName resolves a method declaration's receiver to the
+// named type it belongs to, or nil.
+func receiverTypeName(pkg *Package, fd *ast.FuncDecl) *types.TypeName {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// collectAccesses walks one method, recording every receiver-field
+// access with its must-held state.
+func (r *GuardedFieldRule) collectAccesses(pkg *Package, fd *ast.FuncDecl, fields map[*types.Var]bool, out map[*types.Var][]fieldAccess) {
+	recv := receiverIdentObj(pkg, fd)
+	if recv == nil {
+		return
+	}
+	hr := r.heldAnalysis(pkg, fd)
+	writes := writeTargets(fd.Body)
+	for _, b := range hr.g.Blocks {
+		if !hr.res.Has[b.Index] {
+			continue
+		}
+		fact := hr.res.In[b.Index]
+		for _, n := range b.Nodes {
+			held := recvLockHeld(fact, recv.Name())
+			visitRecvFields(pkg, n, recv, fields, func(sel *ast.SelectorExpr, f *types.Var, inGo bool) {
+				h := held && !inGo
+				out[f] = append(out[f], fieldAccess{
+					method: fd.Name.Name,
+					decl:   fd,
+					pos:    sel.Sel.Pos(),
+					held:   h,
+					write:  writes[sel],
+				})
+			})
+			fact = lockTransfer(pkg, n, fact)
+		}
+	}
+}
+
+// heldAnalysis memoizes the per-method must-held dataflow.
+func (r *GuardedFieldRule) heldAnalysis(pkg *Package, fd *ast.FuncDecl) *heldResult {
+	r.mu.Lock()
+	if hr, ok := r.heldCache[fd]; ok {
+		r.mu.Unlock()
+		return hr
+	}
+	r.mu.Unlock()
+	g, res := lockAnalysis(pkg, fd.Body, true)
+	hr := &heldResult{g: g, res: res}
+	r.mu.Lock()
+	r.heldCache[fd] = hr
+	r.mu.Unlock()
+	return hr
+}
+
+// recvLockHeld reports whether any lock rooted at the receiver name
+// is held: "r", "r.mu", "r.mu#r", ...
+func recvLockHeld(fact lockFacts, recvName string) bool {
+	for k := range fact {
+		k = strings.TrimSuffix(k, "#r")
+		if k == recvName || strings.HasPrefix(k, recvName+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverIdentObj returns the receiver variable's object (nil for
+// unnamed or blank receivers).
+func receiverIdentObj(pkg *Package, fd *ast.FuncDecl) *types.Var {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	v, _ := pkg.Info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// visitRecvFields finds selector expressions recv.f for candidate
+// fields under n. Function literals are skipped except go-statement
+// closures, whose accesses are visited with inGo=true.
+func visitRecvFields(pkg *Package, n ast.Node, recv *types.Var, fields map[*types.Var]bool, visit func(sel *ast.SelectorExpr, f *types.Var, inGo bool)) {
+	var walk func(n ast.Node, inGo bool)
+	walk = func(n ast.Node, inGo bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					for _, arg := range x.Call.Args {
+						walk(arg, inGo)
+					}
+					walk(lit.Body, true)
+					return false
+				}
+				return true
+			case *ast.FuncLit:
+				return false // runs at an unknown time; skip
+			case *ast.SelectorExpr:
+				id, ok := ast.Unparen(x.X).(*ast.Ident)
+				if !ok || pkg.Info.Uses[id] != recv {
+					return true
+				}
+				if f, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && fields[f] {
+					visit(x, f, inGo)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(n, false)
+}
+
+// writeTargets returns the selector expressions that are written:
+// assignment LHS, ++/--, and address-taken operands (a pointer to a
+// field can be written through, so & counts as a write).
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		// Peel index and dereference layers: s.data[k] = v mutates
+		// the map behind s.data, so the field access is a write.
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// lockedSectionHelper reports whether every known call site of the
+// method has the caller's receiver lock held — i.e. the method is a
+// within-locked-section helper like flushLocked. The "...Locked"
+// suffix convention short-circuits the graph walk.
+func (r *GuardedFieldRule) lockedSectionHelper(pkg *Package, tname *types.TypeName, fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") || strings.HasSuffix(fd.Name.Name, "locked") {
+		return true
+	}
+	r.mu.Lock()
+	m := r.module
+	r.mu.Unlock()
+	if m == nil {
+		return false
+	}
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	graph := m.Graph()
+	sites := graph.SitesOf(fn)
+	if len(sites) == 0 || graph.HasDynamic(fn) {
+		return false
+	}
+	for _, site := range sites {
+		if !r.callSiteHeld(tname, site) {
+			return false
+		}
+	}
+	return true
+}
+
+// callSiteHeld reports whether the lock of the callee's type is held
+// at one call site: the caller must be a method of the same type,
+// the call must not sit in a function literal, and the must-analysis
+// fact at the call node must hold a receiver-rooted lock.
+func (r *GuardedFieldRule) callSiteHeld(tname *types.TypeName, site CallSite) bool {
+	if site.InFuncLit || site.CallerDecl == nil || site.CallerDecl.Body == nil {
+		return false
+	}
+	if receiverTypeName(site.Pkg, site.CallerDecl) != tname {
+		return false
+	}
+	recv := receiverIdentObj(site.Pkg, site.CallerDecl)
+	if recv == nil {
+		return false
+	}
+	// The callee must be invoked on the caller's own receiver
+	// (x.helper(), not other.helper()).
+	if sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || site.Pkg.Info.Uses[id] != recv {
+			return false
+		}
+	}
+	hr := r.heldAnalysis(site.Pkg, site.CallerDecl)
+	for _, b := range hr.g.Blocks {
+		if !hr.res.Has[b.Index] {
+			continue
+		}
+		fact := hr.res.In[b.Index]
+		for _, n := range b.Nodes {
+			if n.Pos() <= site.Call.Pos() && site.Call.End() <= n.End() {
+				return recvLockHeld(fact, recv.Name())
+			}
+			fact = lockTransfer(site.Pkg, n, fact)
+		}
+	}
+	return false
+}
+
+// mutexFieldLabel names the struct's mutex field(s) for messages.
+func mutexFieldLabel(st *types.Struct) string {
+	var names []string
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncMutexType(st.Field(i).Type()) {
+			names = append(names, st.Field(i).Name())
+		}
+	}
+	return strings.Join(names, "/")
+}
+
+// joinSorted renders a method-name set deterministically.
+func joinSorted(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 4 {
+		names = append(names[:4], "...")
+	}
+	return strings.Join(names, ", ")
+}

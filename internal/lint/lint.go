@@ -21,10 +21,27 @@
 //   - mutex-copy:        by-value copies of types containing sync locks
 //   - ctx-first:         context.Context parameters that are not first,
 //     and contexts stored in struct fields
+//   - lock-balance:      a path from Lock()/RLock() to a return without
+//     the matching Unlock (flow-sensitive, over internal/lint/cfg)
+//   - cancel-leak:       context cancel funcs not called or deferred on
+//     every path
+//   - guarded-field:     struct fields accessed under the receiver's
+//     mutex in some methods but bare in others (uses the module call
+//     graph to recognize locked-section helpers)
+//   - atomic-mix:        the same field touched via sync/atomic and by
+//     plain read/write
+//   - ctx-propagation:   a ctx-holding function calling a sibling whose
+//     ...Context variant exists in the same package
+//
+// The first seven are AST walkers from PR 1; the last five are
+// flow-aware, built on the CFG + dataflow framework in
+// internal/lint/cfg and the module-wide call graph in callgraph.go.
 //
 // To add a rule, create a new file implementing Rule and append it in
-// Rules. To suppress a finding, add a line to the allowlist file (see
-// Allowlist) with a comment explaining why.
+// Rules. Rules needing cross-package context implement ModuleRule.
+// To suppress a finding, add a line to the allowlist file (see
+// Allowlist) with a comment explaining why — unused entries fail the
+// staleness check, so suppressions cannot outlive their findings.
 package lint
 
 import (
@@ -32,8 +49,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned in module-relative file
@@ -92,33 +111,66 @@ func Rules() []Rule {
 		GoroutineCaptureRule{},
 		MutexCopyRule{},
 		CtxFirstRule{},
+		LockBalanceRule{},
+		CancelLeakRule{},
+		&GuardedFieldRule{},
+		AtomicMixRule{},
+		CtxPropRule{},
 	}
 }
 
 // Run applies rules to every package and returns the diagnostics that
 // survive the allowlist (nil allow means keep everything), sorted by
-// file, line, then rule.
+// file, line, then rule. Analysis fans out across per-package
+// goroutines; the final sort (plus per-package collection before the
+// shared dedup pass) keeps output deterministic regardless of
+// scheduling.
 func Run(pkgs []*Package, rules []Rule, allow *Allowlist) []Diagnostic {
+	module := &Module{Pkgs: pkgs}
+	for _, r := range rules {
+		if mr, ok := r.(ModuleRule); ok {
+			mr.Prepare(module)
+		}
+	}
+	// Fan out: one goroutine per package, diagnostics collected
+	// per-package so the merge below is scheduling-independent.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Diagnostic
+			for _, r := range rules {
+				name := r.Name()
+				r.Check(pkg, func(pos token.Pos, msg string) {
+					p := pkg.Fset.Position(pos)
+					local = append(local, Diagnostic{
+						Rule:    name,
+						File:    relPath(pkg.ModDir, p.Filename),
+						Line:    p.Line,
+						Col:     p.Column,
+						Message: msg,
+					})
+				})
+			}
+			perPkg[i] = local
+		}(i, pkg)
+	}
+	wg.Wait()
+
 	var out []Diagnostic
 	seen := make(map[Diagnostic]bool)
-	for _, pkg := range pkgs {
-		for _, r := range rules {
-			name := r.Name()
-			r.Check(pkg, func(pos token.Pos, msg string) {
-				p := pkg.Fset.Position(pos)
-				d := Diagnostic{
-					Rule:    name,
-					File:    relPath(pkg.ModDir, p.Filename),
-					Line:    p.Line,
-					Col:     p.Column,
-					Message: msg,
-				}
-				if seen[d] || (allow != nil && allow.Allows(d)) {
-					return
-				}
-				seen[d] = true
-				out = append(out, d)
-			})
+	for _, local := range perPkg {
+		for _, d := range local {
+			if seen[d] || (allow != nil && allow.Allows(d)) {
+				continue
+			}
+			seen[d] = true
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -66,8 +66,8 @@ func TestRulesOnTestdata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 6 {
-		t.Fatalf("loaded %d testdata packages, want >= 6", len(pkgs))
+	if len(pkgs) < 12 {
+		t.Fatalf("loaded %d testdata packages, want >= 12 (one per rule)", len(pkgs))
 	}
 	diags := Run(pkgs, Rules(), nil)
 	wants := parseWants(t, modDir)
@@ -128,6 +128,43 @@ determinism internal/core/build.go time.Now
 	}
 }
 
+// TestAllowlistStaleness checks used-entry tracking and the loaded-file
+// scoping: an unused entry is stale only when its pattern matched files
+// that were actually linted.
+func TestAllowlistStaleness(t *testing.T) {
+	pkgs, err := Load("testdata", []string{"./lockbalance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParseAllowlist([]byte(`
+# live: suppresses the seeded lock-balance findings
+lock-balance lockbalance/lockbalance.go
+# stale: matches a loaded file but no diagnostic
+determinism lockbalance/lockbalance.go
+# out of scope: its files were not loaded in this run
+panic internal/engine/bitset.go
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Rules(), a)
+	for _, d := range diags {
+		if d.Rule == "lock-balance" {
+			t.Errorf("allowlisted diagnostic survived: %s", d)
+		}
+	}
+	stale := a.Stale(pkgs)
+	if len(stale) != 1 {
+		t.Fatalf("Stale() = %q, want exactly the determinism entry", stale)
+	}
+	if !strings.Contains(stale[0], "determinism lockbalance/lockbalance.go") {
+		t.Errorf("stale report %q does not name the dead entry", stale[0])
+	}
+	if !strings.Contains(stale[0], "line 5:") {
+		t.Errorf("stale report %q does not carry the source line", stale[0])
+	}
+}
+
 func TestParseAllowlistErrors(t *testing.T) {
 	if _, err := ParseAllowlist([]byte("panic")); err == nil {
 		t.Error("one-field line accepted")
@@ -159,6 +196,9 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, Rules(), allow) {
 		t.Errorf("repo not lint-clean: %s", d)
+	}
+	for _, s := range allow.Stale(pkgs) {
+		t.Errorf("stale lint.allow entry: %s", s)
 	}
 }
 

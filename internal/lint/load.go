@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Load expands the patterns (a directory, or a directory followed by
@@ -22,9 +24,10 @@ import (
 // tool's conventions.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	l := &loader{
-		fset: token.NewFileSet(),
-		pkgs: make(map[string]*Package),
-		mods: make(map[string]string),
+		fset:   token.NewFileSet(),
+		pkgs:   make(map[string]*Package),
+		mods:   make(map[string]string),
+		parsed: make(map[string][]*ast.File),
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil)
 
@@ -72,11 +75,49 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 	}
 
-	var out []*Package
+	// Parsing dominates load time and is embarrassingly parallel
+	// (token.FileSet is safe for concurrent AddFile), so fan it out one
+	// goroutine per root directory up front. Type-checking stays serial
+	// below: the importer recursion shares loader state, and serial
+	// checking in sorted root order keeps diagnostics deterministic.
+	var goRoots []string
 	for _, root := range roots {
-		if !hasGoFiles(root) {
-			continue
+		if hasGoFiles(root) {
+			goRoots = append(goRoots, root)
 		}
+	}
+	sort.Strings(goRoots)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[string]error)
+		sem  = make(chan struct{}, runtime.GOMAXPROCS(0))
+	)
+	for _, root := range goRoots {
+		wg.Add(1)
+		go func(dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			files, err := l.parseDir(dir)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[dir] = err
+				return
+			}
+			l.parsed[dir] = files
+		}(root)
+	}
+	wg.Wait()
+	for _, root := range goRoots { // first error in sorted order, deterministically
+		if err := errs[root]; err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, root := range goRoots {
 		pkg, err := l.load(root)
 		if err != nil {
 			return nil, err
@@ -101,8 +142,33 @@ type loader struct {
 	// mods maps a module path to its absolute root directory, for every
 	// module seen so far.
 	mods map[string]string
+	// parsed holds pre-parsed files by absolute directory, filled
+	// concurrently by Load before any type-checking starts. Dirs reached
+	// only through imports are parsed lazily in load instead.
+	parsed map[string][]*ast.File
 	// loading guards against import cycles.
 	loading []string
+}
+
+// parseDir parses the non-test Go files in dir, in directory order.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
 }
 
 // load returns the type-checked package in dir (nil if dir holds no
@@ -125,21 +191,13 @@ func (l *loader) load(dir string) (*Package, error) {
 		importPath = modPath + "/" + filepath.ToSlash(rel)
 	}
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	files, ok := l.parsed[dir]
+	if !ok {
+		files, err = l.parseDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		l.parsed[dir] = files
 	}
 	if len(files) == 0 {
 		l.pkgs[dir] = nil

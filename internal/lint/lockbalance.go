@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// LockBalanceRule reports paths from a Lock()/RLock() to a normal
+// return on which no matching Unlock()/RUnlock() — immediate or
+// deferred — has run. This is the flow-aware upgrade over PR 1's
+// site-level rules: the bug it catches is precisely the one an AST
+// walker cannot see, an early `return err` threaded between Lock and
+// Unlock.
+//
+// Mechanics: a union-merge (may-held) dataflow over the function's
+// CFG. Lock/RLock raise an obligation keyed by the receiver
+// expression (read locks tracked separately, so Lock answered by
+// RUnlock stays a finding); Unlock/RUnlock cancel it; defer Unlock —
+// directly or inside a deferred closure — downgrades it to
+// "held-until-return", which no return owes. A lock still owed at any
+// predecessor of the exit block is reported once, at the Lock site,
+// naming the first offending return.
+//
+// Paths into the panic block are deliberately ignored: a lock held
+// while the process unwinds to death is not the bug this rule hunts,
+// and flagging it would force noise-suppressions on every
+// precondition panic.
+//
+// Known accepted imprecision (see DESIGN.md §11): conditionally
+// balanced locks ("if c { mu.Lock() } ... if c { mu.Unlock() }")
+// report, because the two conditions are not correlated in the
+// lattice; restructure or allowlist them. Functions that hand a
+// locked mutex to their caller on purpose must be allowlisted.
+type LockBalanceRule struct{}
+
+// Name implements Rule.
+func (LockBalanceRule) Name() string { return "lock-balance" }
+
+// Check implements Rule.
+func (LockBalanceRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		funcBodies(f, func(name string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockBalance(pkg, name, body, report)
+		})
+	}
+}
+
+func checkLockBalance(pkg *Package, name string, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	g, res := lockAnalysis(pkg, body, false)
+	// One report per lock site, keyed by the Lock position, naming
+	// the first return that leaks it.
+	type leak struct {
+		key     string
+		retLine int
+	}
+	leaks := make(map[token.Pos]leak)
+	for _, pred := range g.Exit.Preds {
+		if !res.Has[pred.Index] {
+			continue
+		}
+		// The fact after the block's last node is the fact at the
+		// return (explicit ReturnStmt or implicit fall-off-the-end).
+		fact := res.AtNode(pred, len(pred.Nodes))
+		if len(fact) == 0 {
+			continue
+		}
+		retLine := 0
+		if n := len(pred.Nodes); n > 0 {
+			if ret, ok := pred.Nodes[n-1].(*ast.ReturnStmt); ok {
+				retLine = pkg.Fset.Position(ret.Pos()).Line
+			}
+		}
+		for _, key := range sortedKeys(fact) {
+			info := fact[key]
+			if info.state != stateHeld {
+				continue // discharged by a pending defer
+			}
+			if prev, ok := leaks[info.pos]; ok && (prev.retLine != 0 && (retLine == 0 || prev.retLine <= retLine)) {
+				continue
+			}
+			leaks[info.pos] = leak{key: key, retLine: retLine}
+		}
+	}
+	poss := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		poss = append(poss, pos)
+	}
+	sortPos(poss)
+	for _, pos := range poss {
+		l := leaks[pos]
+		verb := "Unlock"
+		if fact := l.key; len(fact) > 2 && fact[len(fact)-2:] == "#r" {
+			verb = "RUnlock"
+		}
+		where := "the end of " + name
+		if l.retLine != 0 {
+			where = fmt.Sprintf("the return at line %d", l.retLine)
+		}
+		report(pos, fmt.Sprintf("%s is locked here but not released by %s on the path to %s", displayKey(l.key), verb, where))
+	}
+}
+
+// sortPos orders positions ascending for deterministic output.
+func sortPos(poss []token.Pos) {
+	for i := 1; i < len(poss); i++ {
+		for j := i; j > 0 && poss[j] < poss[j-1]; j-- {
+			poss[j], poss[j-1] = poss[j-1], poss[j]
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"aqppp/internal/lint/cfg"
+)
+
+// This file holds the shared lock-tracking dataflow used by the
+// lock-balance and guarded-field rules: classifying sync lock method
+// calls, naming locks by their receiver expression, and a transfer
+// function over CFG nodes that models Lock/Unlock/defer-Unlock.
+
+// lockOp classifies one sync lock call.
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock        // Lock
+	opRLock
+	opUnlock
+	opRUnlock
+	opTryLock // TryLock/TryRLock: acquisition is conditional, modeled as a no-op
+)
+
+// lockState distinguishes a live obligation from one discharged by a
+// pending defer: heldDefer still means "held until return" (the
+// guarded-field view) but no longer "leaks at return" (the
+// lock-balance view).
+type lockState uint8
+
+const (
+	stateHeld lockState = iota + 1
+	stateHeldDefer
+)
+
+// lockInfo is the per-lock dataflow fact.
+type lockInfo struct {
+	state lockState
+	// pos is where the lock was taken, for reporting.
+	pos token.Pos
+	// read marks an RLock (key also carries the #r suffix; the bit is
+	// kept for messages).
+	read bool
+}
+
+// lockFacts maps lock keys (canonical receiver expression, "#r"
+// suffixed for read locks) to their state. Facts are immutable: the
+// transfer function copies on write.
+type lockFacts map[string]lockInfo
+
+func (f lockFacts) clone() lockFacts {
+	out := make(lockFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func lockFactsEqual(a, b lockFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeUnion keeps a lock held if it is held on ANY incoming path
+// (may-analysis: right for leak detection). On state conflict the
+// plain-held state wins: a path that still owes an Unlock outweighs
+// one that deferred it.
+func mergeUnion(a, b lockFacts) lockFacts {
+	out := a.clone()
+	for k, v := range b {
+		if w, ok := out[k]; !ok || v.state == stateHeld && w.state == stateHeldDefer {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// mergeIntersect keeps a lock held only if it is held on EVERY
+// incoming path (must-analysis: right for guardedness).
+func mergeIntersect(a, b lockFacts) lockFacts {
+	out := make(lockFacts)
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if w.state == stateHeldDefer {
+				v.state = stateHeldDefer
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// classifyLockCall returns the operation and lock key for a call, or
+// opNone. Methods of sync.Mutex, sync.RWMutex (including promoted
+// embeds — the selection still resolves into package sync) and the
+// sync.Locker interface are recognized; RWMutex.RLocker() is not
+// followed.
+func classifyLockCall(pkg *Package, call *ast.CallExpr) (lockOp, string, token.Pos) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return opNone, "", token.NoPos
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, "", token.NoPos
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, "", token.NoPos
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return opLock, key, call.Pos()
+	case "RLock":
+		return opRLock, key + "#r", call.Pos()
+	case "Unlock":
+		return opUnlock, key, call.Pos()
+	case "RUnlock":
+		return opRUnlock, key + "#r", call.Pos()
+	case "TryLock", "TryRLock":
+		return opTryLock, key, call.Pos()
+	}
+	return opNone, "", token.NoPos
+}
+
+// lockTransfer is the shared transfer function: it scans the node
+// (without descending into function literals, whose bodies run at
+// another time) for lock operations and returns the updated facts.
+// defer mu.Unlock() — directly or inside a deferred literal — moves
+// the lock to stateHeldDefer rather than releasing it: the lock stays
+// held until return, but the return owes nothing.
+func lockTransfer(pkg *Package, n ast.Node, in lockFacts) lockFacts {
+	out := in
+	mutated := false
+	mutate := func() lockFacts {
+		if !mutated {
+			out = in.clone()
+			mutated = true
+		}
+		return out
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range deferredUnlocks(pkg, d) {
+			if info, held := out[key]; held && info.state == stateHeld {
+				o := mutate()
+				info.state = stateHeldDefer
+				o[key] = info
+			}
+		}
+		return out
+	}
+	walkCallsNoFuncLit(n, func(call *ast.CallExpr) {
+		op, key, pos := classifyLockCall(pkg, call)
+		switch op {
+		case opLock, opRLock:
+			o := mutate()
+			o[key] = lockInfo{state: stateHeld, pos: pos, read: op == opRLock}
+		case opUnlock, opRUnlock:
+			if _, held := out[key]; held {
+				delete(mutate(), key)
+			}
+		}
+	})
+	return out
+}
+
+// deferredUnlocks returns the lock keys a defer statement discharges:
+// "defer mu.Unlock()" and "defer func() { ...; mu.Unlock(); ... }()".
+func deferredUnlocks(pkg *Package, d *ast.DeferStmt) []string {
+	var keys []string
+	if op, key, _ := classifyLockCall(pkg, d.Call); op == opUnlock || op == opRUnlock {
+		return []string{key}
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, key, _ := classifyLockCall(pkg, call); op == opUnlock || op == opRUnlock {
+					keys = append(keys, key)
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// walkCallsNoFuncLit visits every CallExpr under n in source order,
+// skipping function literal bodies.
+func walkCallsNoFuncLit(n ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// lockAnalysis runs the lock dataflow over one function body.
+// must selects the merge: true → intersection (guardedness), false →
+// union (leak detection).
+func lockAnalysis(pkg *Package, body *ast.BlockStmt, must bool) (*cfg.Graph, *cfg.Result[lockFacts]) {
+	g := cfg.New(body)
+	merge := mergeUnion
+	if must {
+		merge = mergeIntersect
+	}
+	fwd := &cfg.Forward[lockFacts]{
+		Entry: lockFacts{},
+		Merge: merge,
+		Equal: lockFactsEqual,
+		TransferNode: func(n ast.Node, in lockFacts) lockFacts {
+			return lockTransfer(pkg, n, in)
+		},
+	}
+	return g, fwd.Run(g)
+}
+
+// funcBodies yields every function body in the file — declarations
+// and literals — with a printable name for diagnostics.
+func funcBodies(f *ast.File, visit func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Name.Name, n, n.Body)
+			}
+			// Literals inside are visited by the continued walk.
+		case *ast.FuncLit:
+			visit("func literal", nil, n.Body)
+		}
+		return true
+	})
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic
+// reporting order.
+func sortedKeys(m lockFacts) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// displayKey strips the internal read-lock suffix for messages.
+func displayKey(key string) string {
+	return strings.TrimSuffix(key, "#r")
+}

@@ -1,0 +1,58 @@
+// Package atomicmix is seeded testdata for the atomic-mix rule.
+package atomicmix
+
+import "sync/atomic"
+
+// Stats counts events; hits is accessed atomically in the hot path
+// but read bare in Snapshot and reset bare in Reset — both races.
+type Stats struct {
+	hits  int64
+	total int64
+}
+
+// Record is the sanctioned atomic path.
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.total, 1)
+}
+
+// Load is also sanctioned.
+func (s *Stats) Load() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Snapshot reads hits directly, racing Record.
+func (s *Stats) Snapshot() int64 {
+	return s.hits // want atomic-mix
+}
+
+// Reset writes both fields directly.
+func (s *Stats) Reset() {
+	s.hits = 0  // want atomic-mix
+	s.total = 0 // want atomic-mix
+}
+
+// Escape leaks the field's address outside the atomic API, which
+// defeats the discipline just as surely.
+func (s *Stats) Escape() *int64 {
+	return &s.hits // want atomic-mix
+}
+
+// Clean uses typed atomics: bare access is impossible, nothing fires.
+type Clean struct {
+	hits atomic.Int64
+}
+
+// Record bumps the typed atomic.
+func (c *Clean) Record() { c.hits.Add(1) }
+
+// Load reads the typed atomic.
+func (c *Clean) Load() int64 { return c.hits.Load() }
+
+// Plain never uses atomics at all: bare access everywhere is fine.
+type Plain struct {
+	n int
+}
+
+// Bump increments without any atomics in sight.
+func (p *Plain) Bump() { p.n++ }

@@ -1,0 +1,74 @@
+// Package cancelleak is seeded testdata for the cancel-leak rule.
+package cancelleak
+
+import (
+	"context"
+	"time"
+)
+
+// EarlyReturn drops the cancel on the error branch.
+func EarlyReturn(ctx context.Context, bad bool) error {
+	ctx, cancel := context.WithCancel(ctx) // want cancel-leak
+	if bad {
+		return context.Canceled
+	}
+	defer cancel()
+	<-ctx.Done()
+	return nil
+}
+
+// NeverCalled obtains a timeout context and forgets the cancel
+// entirely.
+func NeverCalled(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second) // want cancel-leak
+	_ = cancel
+	return waitOn(tctx)
+}
+
+// Discarded blanks the cancel func outright.
+func Discarded(ctx context.Context) context.Context {
+	dctx, _ := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want cancel-leak
+	return dctx
+}
+
+// DeferOK is the accepted pattern.
+func DeferOK(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return waitOn(ctx)
+}
+
+// CalledOnEveryPath calls cancel explicitly on both branches.
+func CalledOnEveryPath(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Minute)
+	if fast {
+		cancel()
+		return nil
+	}
+	err := waitOn(ctx)
+	cancel()
+	return err
+}
+
+// HandedOff passes the cancel onward: responsibility moves with it.
+func HandedOff(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	register(cancel)
+	return waitOn(ctx)
+}
+
+// CapturedOK hands the cancel to a closure.
+func CapturedOK(ctx context.Context) func() {
+	ctx, cancel := context.WithCancel(ctx)
+	_ = ctx
+	return func() { cancel() }
+}
+
+func waitOn(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+var registered func()
+
+func register(f func()) { registered = f }

@@ -1,0 +1,69 @@
+// Package ctxprop is seeded testdata for the ctx-propagation rule.
+package ctxprop
+
+import "context"
+
+// DB pairs ctx-less methods with ...Context variants, like the root
+// aqppp API.
+type DB struct{ n int }
+
+// Query is the background-context convenience wrapper. Wrappers have
+// no ctx parameter, so the rule never flags their delegation.
+func (db *DB) Query(q string) (int, error) {
+	return db.QueryContext(context.Background(), q)
+}
+
+// QueryContext is the real implementation.
+func (db *DB) QueryContext(ctx context.Context, q string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return db.n + len(q), nil
+}
+
+// Scan has no Context sibling; calling it from ctx-holding code is
+// fine.
+func (db *DB) Scan(q string) int { return len(q) }
+
+// Load is a package function with a Context sibling.
+func Load(path string) error { return LoadContext(context.Background(), path) }
+
+// LoadContext is the real implementation.
+func LoadContext(ctx context.Context, path string) error {
+	_ = path
+	return ctx.Err()
+}
+
+// Handler holds a ctx but calls the bare variants: both calls sever
+// the cancellation chain.
+func Handler(ctx context.Context, db *DB, q string) (int, error) {
+	if err := Load(q); err != nil { // want ctx-propagation
+		return 0, err
+	}
+	n, err := db.Query(q) // want ctx-propagation
+	if err != nil {
+		return 0, err
+	}
+	return n + db.Scan(q), nil
+}
+
+// Propagates is the accepted form.
+func Propagates(ctx context.Context, db *DB, q string) (int, error) {
+	if err := LoadContext(ctx, q); err != nil {
+		return 0, err
+	}
+	return db.QueryContext(ctx, q)
+}
+
+// InsideClosure drops ctx from within a literal; the closure closes
+// over ctx and could have passed it.
+func InsideClosure(ctx context.Context, db *DB, q string) func() error {
+	return func() error {
+		return Load(q) // want ctx-propagation
+	}
+}
+
+// NoCtx has no context at all, so bare calls are what it is for.
+func NoCtx(db *DB, q string) (int, error) {
+	return db.Query(q)
+}

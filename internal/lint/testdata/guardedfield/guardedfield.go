@@ -1,0 +1,113 @@
+// Package guardedfield is seeded testdata for the guarded-field rule.
+package guardedfield
+
+import "sync"
+
+// Counter establishes a guarding convention: n and last are written
+// and read under mu in several methods — then touched bare elsewhere.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	last string
+	// immutable is set at construction and read everywhere without
+	// the lock; it is never written under mu, so no convention forms
+	// and bare reads are fine.
+	immutable int
+}
+
+// Inc writes n under the lock.
+func (c *Counter) Inc(who string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.last = who
+}
+
+// Get reads n under the lock.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Last reads last under the lock, establishing the convention for it
+// alongside Inc's write.
+func (c *Counter) Last() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// Peek reads n without the lock — the racy site.
+func (c *Counter) Peek() int {
+	return c.n // want guarded-field
+}
+
+// Reset writes both fields bare.
+func (c *Counter) Reset() {
+	c.n = 0     // want guarded-field
+	c.last = "" // want guarded-field
+}
+
+// Scale reads the immutable config bare: fine, no held writes ever.
+func (c *Counter) Scale() int {
+	return c.immutable * 2
+}
+
+// resetLocked is a locked-section helper by naming convention: its
+// bare accesses are the caller's responsibility.
+func (c *Counter) resetLocked() {
+	c.n = 0
+	c.last = ""
+}
+
+// Clear uses the helper correctly.
+func (c *Counter) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+}
+
+// drain is a helper WITHOUT the naming convention, but every static
+// call site holds the lock — the call graph proves it, so its bare
+// accesses are exempt.
+func (c *Counter) drain() int {
+	v := c.n
+	c.n = 0
+	return v
+}
+
+// Flush calls drain with the lock held.
+func (c *Counter) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drain()
+}
+
+// Gauge mixes a read-write lock with a goroutine touching state bare.
+type Gauge struct {
+	mu  sync.RWMutex
+	val float64
+}
+
+// Set writes under the write lock.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+// Read reads under the read lock.
+func (g *Gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Watch spawns a goroutine that reads val with no lock at all: the
+// classic background-poller race.
+func (g *Gauge) Watch(out chan<- float64) {
+	go func() {
+		out <- g.val // want guarded-field
+	}()
+}

@@ -1,0 +1,124 @@
+// Package lockbalance is seeded testdata for the lock-balance rule.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+// Store guards a map with a plain mutex.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// EarlyReturn leaks the lock on the error branch — the canonical bug
+// the rule exists for.
+func (s *Store) EarlyReturn(key string) (int, error) {
+	s.mu.Lock() // want lock-balance
+	v, ok := s.data[key]
+	if !ok {
+		return 0, errors.New("missing")
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// MissingEntirely locks and never unlocks at all.
+func (s *Store) MissingEntirely(key string, v int) {
+	s.mu.Lock() // want lock-balance
+	s.data[key] = v
+}
+
+// ReadLeak pairs RLock with a path that skips RUnlock.
+func (s *Store) ReadLeak(key string) int {
+	s.rw.RLock() // want lock-balance
+	if key == "" {
+		return -1
+	}
+	v := s.data[key]
+	s.rw.RUnlock()
+	return v
+}
+
+// WrongUnlock answers a write lock with a read unlock, which leaves
+// the write lock owed forever.
+func (s *Store) WrongUnlock(key string, v int) {
+	s.rw.Lock() // want lock-balance
+	s.data[key] = v
+	s.rw.RUnlock()
+}
+
+// LoopLeak breaks out of the loop with the lock held.
+func (s *Store) LoopLeak(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock() // want lock-balance
+		v, ok := s.data[k]
+		if !ok {
+			break
+		}
+		total += v
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// DeferOK is the accepted pattern: defer discharges every path.
+func (s *Store) DeferOK(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if key == "" {
+		return 0
+	}
+	return s.data[key]
+}
+
+// DeferClosureOK discharges through a deferred closure.
+func (s *Store) DeferClosureOK(key string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.data[key]
+}
+
+// BalancedBranches unlocks explicitly on both paths.
+func (s *Store) BalancedBranches(key string) int {
+	s.mu.Lock()
+	if v, ok := s.data[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// PanicPathOK holds the lock into a panic — not this rule's business.
+func (s *Store) PanicPathOK(key string) int {
+	s.mu.Lock()
+	v, ok := s.data[key]
+	if !ok {
+		panic("missing " + key) // want panic
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Embedded locks via promotion; the leak is still visible.
+type Embedded struct {
+	sync.Mutex
+	n int
+}
+
+// Bump leaks the embedded lock on one branch.
+func (e *Embedded) Bump(ok bool) int {
+	e.Lock() // want lock-balance
+	if !ok {
+		return -1
+	}
+	e.n++
+	e.Unlock()
+	return e.n
+}

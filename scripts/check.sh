@@ -23,7 +23,11 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> aqppp-lint ./..."
+# The analyzer parses and analyzes packages in parallel; the wall-clock
+# line makes a load/analysis perf regression visible in every gate run.
+lint_start=$(date +%s)
 go run ./cmd/aqppp-lint ./...
+echo "    aqppp-lint wall-clock: $(( $(date +%s) - lint_start ))s"
 
 echo "==> go test -race ./..."
 go test -race ./...
