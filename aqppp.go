@@ -53,6 +53,7 @@ import (
 	"aqppp/internal/exec"
 	"aqppp/internal/precompute"
 	"aqppp/internal/sample"
+	"aqppp/internal/shard"
 )
 
 // DB is a registry of in-memory tables plus the prepared AQP++ state built
@@ -72,7 +73,10 @@ type DB struct {
 	// generation observed *before* running a query, so an answer computed
 	// against a since-dropped table can never be served once the name is
 	// re-registered — the current generation has moved past the key's.
-	gens   map[string]uint64
+	gens map[string]uint64
+	// shards maps sharded table names to their partitioned form; queries
+	// against such tables run scatter-gather (see RegisterSharded).
+	shards map[string]*shard.Sharded
 	ex     *exec.Executor
 	budget exec.Budget
 }
@@ -90,6 +94,7 @@ func NewDB() *DB {
 		tables: make(map[string]*engine.Table),
 		preps:  make(map[string][]*prepState),
 		gens:   make(map[string]uint64),
+		shards: make(map[string]*shard.Sharded),
 		ex:     exec.New(),
 	}
 }
@@ -140,6 +145,7 @@ func (db *DB) Drop(name string) {
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		delete(db.tables, name)
+		delete(db.shards, name)
 		db.gens[name]++
 	}
 	for _, st := range db.preps[name] {
@@ -256,9 +262,18 @@ func (db *DB) ExactWithBudget(ctx context.Context, statement string, b Budget) (
 // PlanExact parses and compiles a statement into an executor plan
 // without running it. A serving layer plans once, derives a response
 // cache key from the plan (exec.Plan.CacheKey), and on a cache miss
-// runs the very same plan with RunExactPlan — no double parse.
+// runs the very same plan with RunExactPlan — no double parse. Plans
+// over sharded tables carry the shard layout, so they scatter-gather
+// and their cache keys fold the layout in.
 func (db *DB) PlanExact(statement string) (*exec.Plan, error) {
-	return exec.PlanExactStatement(db, statement)
+	p, err := exec.PlanExactStatement(db, statement)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := db.lookupSharded(p.Table.Name); ok {
+		p.Shards = s
+	}
+	return p, nil
 }
 
 // RunExactPlan executes a plan built by PlanExact under the context and
@@ -304,11 +319,15 @@ type PrepareOptions struct {
 	LocalAdjustment bool
 }
 
-// Prepared answers queries for one template using AQP++.
+// Prepared answers queries for one template using AQP++. Over a
+// sharded table the preparation holds one processor per shard (shp set,
+// proc nil) and answers merge per-stratum; otherwise a single processor
+// answers directly.
 type Prepared struct {
 	db         *DB
 	tbl        *engine.Table
 	proc       *core.Processor
+	shp        *shard.Prepared
 	stats      core.BuildStats
 	maintainer *core.Maintainer
 	state      *prepState
@@ -346,7 +365,7 @@ func (db *DB) PrepareWithBudget(ctx context.Context, opts PrepareOptions, b Budg
 	if opts.LocalAdjustment {
 		mode = precompute.Local
 	}
-	proc, st, err := db.ex.Prepare(ctx, tbl, core.BuildConfig{
+	cfg := core.BuildConfig{
 		Template:           cube.Template{Agg: opts.Aggregate, Dims: opts.Dimensions},
 		SampleRate:         opts.SampleRate,
 		CellBudget:         opts.CellBudget,
@@ -356,7 +375,15 @@ func (db *DB) PrepareWithBudget(ctx context.Context, opts PrepareOptions, b Budg
 		EqualPartitionOnly: opts.EqualPartitionOnly,
 		WithCountCube:      opts.WithCountCube,
 		WithMinMax:         opts.WithMinMax,
-	}, b)
+	}
+	if s, ok := db.lookupSharded(opts.Table); ok {
+		sp, err := db.ex.PrepareSharded(ctx, s, cfg, 0, b)
+		if err != nil {
+			return nil, err
+		}
+		return &Prepared{db: db, tbl: tbl, shp: sp, state: db.track(opts.Table)}, nil
+	}
+	proc, st, err := db.ex.Prepare(ctx, tbl, cfg, b)
 	if err != nil {
 		return nil, err
 	}
@@ -432,6 +459,9 @@ func (p *Prepared) PlanQuery(statement string) (*exec.Plan, error) {
 	if err := p.live("query"); err != nil {
 		return nil, err
 	}
+	if p.shp != nil {
+		return exec.PlanShardedQueryStatement(p.shp, p.tbl, statement)
+	}
 	return exec.PlanQueryStatement(p.proc, p.tbl, statement)
 }
 
@@ -456,6 +486,9 @@ func (p *Prepared) QueryStructContext(ctx context.Context, q engine.Query) (Resu
 	if err := p.live("query"); err != nil {
 		return Result{}, err
 	}
+	if p.shp != nil {
+		return p.run(ctx, exec.PlanShardedQueryStruct(p.shp, p.tbl, q))
+	}
 	return p.run(ctx, exec.PlanQueryStruct(p.proc, p.tbl, q))
 }
 
@@ -473,13 +506,21 @@ func (p *Prepared) runWithBudget(ctx context.Context, plan *exec.Plan, b Budget)
 		return Result{}, err
 	}
 	if len(plan.Query.GroupBy) > 0 {
-		res := Result{Confidence: p.proc.Confidence}
+		res := Result{Confidence: p.confidence()}
 		for _, g := range out.Groups {
 			res.Groups = append(res.Groups, GroupResult{Key: g.Key, Result: toResult(g.Answer)})
 		}
 		return res, nil
 	}
 	return toResult(out.Answer), nil
+}
+
+// confidence reports the preparation's CI level, whichever form it took.
+func (p *Prepared) confidence() float64 {
+	if p.shp != nil {
+		return p.shp.Confidence
+	}
+	return p.proc.Confidence
 }
 
 func toResult(a core.Answer) Result {
@@ -492,8 +533,25 @@ func toResult(a core.Answer) Result {
 	}
 }
 
-// Stats reports the preprocessing cost of this preparation.
+// Stats reports the preprocessing cost of this preparation. For a
+// sharded preparation the figures aggregate across shards (rows, bytes
+// and cells sum; seconds sum the per-shard build times, which overstates
+// wall clock since shards build in parallel; the shape is left nil —
+// each shard climbs its own partition points).
 func (p *Prepared) Stats() PreprocessingStats {
+	if p.shp != nil {
+		st := PreprocessingStats{SampleRows: p.shp.SampleSize()}
+		for h, bs := range p.shp.BuildStats {
+			if p.shp.Procs[h] == nil {
+				continue
+			}
+			st.SampleBytes += bs.SampleBytes
+			st.CubeCells += p.shp.Procs[h].Cube.NumCells()
+			st.CubeBytes += bs.CubeBytes
+			st.TotalSeconds += bs.TotalTime().Seconds()
+		}
+		return st
+	}
 	return PreprocessingStats{
 		SampleRows:   p.proc.Sample.Size(),
 		SampleBytes:  p.stats.SampleBytes,
@@ -518,9 +576,26 @@ type PreprocessingStats struct {
 // TableName reports the registered table this preparation answers for.
 func (p *Prepared) TableName() string { return p.tbl.Name }
 
-// Sample exposes the underlying sample (read-only use).
-func (p *Prepared) Sample() *sample.Sample { return p.proc.Sample }
+// Sample exposes the underlying sample (read-only use). Sharded
+// preparations have one sample per shard, not a single one, so this
+// returns nil for them — use ShardedProcessor.
+func (p *Prepared) Sample() *sample.Sample {
+	if p.shp != nil {
+		return nil
+	}
+	return p.proc.Sample
+}
 
 // Processor exposes the underlying AQP++ processor for advanced use
-// (ablations, custom pipelines).
-func (p *Prepared) Processor() *core.Processor { return p.proc }
+// (ablations, custom pipelines). Nil for sharded preparations — use
+// ShardedProcessor.
+func (p *Prepared) Processor() *core.Processor {
+	if p.shp != nil {
+		return nil
+	}
+	return p.proc
+}
+
+// ShardedProcessor exposes the per-shard preparation when this Prepared
+// was built over a sharded table; nil otherwise.
+func (p *Prepared) ShardedProcessor() *shard.Prepared { return p.shp }

@@ -5,7 +5,9 @@
 //	aqppp-bench [flags] [experiment ...]
 //
 // Experiments: table1, figure7, figure8, figure9, figure10a, figure10b,
-// figure11a, figure11b, or "all" (the default).
+// figure11a, figure11b, ablations, wavelet, shard, or "all" (the
+// default). The shard experiment measures scatter-gather scaling over
+// the counts given by -shards.
 //
 // Flags override the AQPPP_* environment scale knobs:
 //
@@ -23,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"aqppp/internal/experiments"
@@ -39,8 +43,15 @@ func main() {
 	seed := flag.Uint64("seed", sc.Seed, "random seed")
 	maxDims := flag.Int("max-dims", 0, "cap on #dimensions for figure7/figure11b (0 = all ten)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run's wall time (0 = unlimited)")
+	shardCounts := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the shard experiment")
 	flag.Parse()
 	sc.Seed = *seed
+
+	counts, err := parseCounts(*shardCounts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -65,8 +76,9 @@ func main() {
 		"figure11b": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunFigure11b(ctx, sc, *maxDims) },
 		"ablations": func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunAblations(ctx, sc) },
 		"wavelet":   func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunWaveletStudy(ctx, sc, nil) },
+		"shard":     func(ctx context.Context) (fmt.Stringer, error) { return experiments.RunShard(ctx, sc, counts) },
 	}
-	order := []string{"table1", "figure7", "figure8", "figure9", "figure10a", "figure10b", "figure11a", "figure11b", "ablations", "wavelet"}
+	order := []string{"table1", "figure7", "figure8", "figure9", "figure10a", "figure10b", "figure11a", "figure11b", "ablations", "wavelet", "shard"}
 
 	var names []string
 	for _, arg := range experimentsToRun {
@@ -99,4 +111,17 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// parseCounts parses the -shards list ("1,2,4,8") into shard counts.
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards: bad count %q (want positive integers, e.g. 1,2,4,8)", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }

@@ -67,6 +67,8 @@ func run() int {
 	quotaBurst := flag.Int("quota-burst", 0, "per-client burst depth (0 = 2x quota-rps, min 1)")
 	quotaMaxClients := flag.Int("quota-max-clients", 0, "max tracked client buckets (0 = 4096)")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
+	shards := flag.Int("shards", 1, "partition the table into N shards for scatter-gather execution (1 = unsharded)")
+	shardCol := flag.String("shard-col", "", "clustering column for -shards (default: first of -dims)")
 	flag.Parse()
 
 	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
@@ -75,7 +77,21 @@ func run() int {
 		return 1
 	}
 	db := aqppp.NewDB()
-	if err := db.Register(tbl); err != nil {
+	if *shards > 1 {
+		col := *shardCol
+		if col == "" && *dims != "" {
+			col = strings.Split(*dims, ",")[0]
+		}
+		if col == "" {
+			fmt.Fprintln(os.Stderr, "-shards needs -shard-col (or -dims to default from)")
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "partitioning %q into %d shards on %s...\n", tbl.Name, *shards, col)
+		if err := db.RegisterSharded(tbl, aqppp.ShardOptions{Column: col, Shards: *shards}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else if err := db.Register(tbl); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

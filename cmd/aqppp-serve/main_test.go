@@ -50,9 +50,12 @@ func TestServeBinarySmoke(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
+	// -shards 2 partitions the demo table (range layout on l_orderkey,
+	// the first -dims column), so every query below — exact, approx,
+	// bootstrap burst — exercises the scatter-gather path end to end.
 	cmd := exec.Command(bin,
 		"-demo", "tpcd", "-rows", "5000", "-seed", "9",
-		"-addr", "127.0.0.1:0",
+		"-addr", "127.0.0.1:0", "-shards", "2",
 		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
 		"-sample-rate", "0.2", "-k", "500",
 		"-max-concurrent", fmt.Sprint(smokeConcurrent),
@@ -240,6 +243,8 @@ func TestServeBinarySmoke(t *testing.T) {
 	for _, series := range []string{
 		"aqppp_cache_hits_total", "aqppp_quota_shed_total",
 		"aqppp_gate_shed_total", "aqppp_http_request_duration_seconds_bucket",
+		"aqppp_shard_rows", "aqppp_shards_pruned_total",
+		"aqppp_shard_scan_duration_seconds_bucket",
 	} {
 		if !strings.Contains(metrics, series) {
 			t.Errorf("/metrics missing %s", series)

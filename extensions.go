@@ -19,6 +19,10 @@ func (p *Prepared) Insert(vals ...interface{}) error {
 	if err := p.live("insert"); err != nil {
 		return err
 	}
+	if p.shp != nil {
+		return &exec.Error{Kind: exec.Unsupported, Op: "insert",
+			Err: errSharded("incremental maintenance")}
+	}
 	if p.maintainer == nil {
 		m, err := core.NewMaintainer(p.tbl, p.proc, 0x5eed5eed)
 		if err != nil {
@@ -61,6 +65,9 @@ func (p *Prepared) QueryBootstrapWithBudget(ctx context.Context, statement strin
 func (p *Prepared) PlanBootstrap(statement string, resamples int) (*exec.Plan, error) {
 	if err := p.live("bootstrap"); err != nil {
 		return nil, err
+	}
+	if p.shp != nil {
+		return exec.PlanShardedBootstrapStatement(p.shp, p.tbl, statement, resamples, 0xb007)
 	}
 	return exec.PlanBootstrapStatement(p.proc, p.tbl, statement, resamples, 0xb007)
 }

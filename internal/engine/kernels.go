@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/bits"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -539,7 +540,8 @@ type groupSink struct {
 	keyInts  []int64 // gmInts
 	base     int64
 	slots    []groupSlot
-	order    []int32 // first-seen slot indices
+	order    []int32      // first-seen slot indices
+	buf      *sinkBuffers // non-nil on pooled clones; returned by release
 
 	// map mode
 	cols   []*Column
@@ -611,19 +613,61 @@ func newGroupSink(t *Table, q Query) (*groupSink, error) {
 	return g, nil
 }
 
+// sinkBuffers is the recyclable part of a direct-mode worker sink: the
+// slot table and first-seen order list. Pooled entries keep an all-zero
+// slot invariant — release resets exactly the slots its order list
+// touched — so cloneEmpty can hand a pooled table out without an O(domain)
+// clear. This is the allocation that used to dominate the GroupByString
+// parallel profile (one fresh slot table per worker per query).
+type sinkBuffers struct {
+	slots []groupSlot
+	order []int32
+}
+
+var sinkPool = sync.Pool{New: func() any { return new(sinkBuffers) }}
+
 // cloneEmpty returns a sink with the same resolved strategy and no
-// accumulated state; parallel workers each get one.
+// accumulated state; parallel workers each get one. Direct-mode clones
+// draw their slot tables from sinkPool; callers hand them back with
+// release once merged.
 func (g *groupSink) cloneEmpty() *groupSink {
 	c := *g
 	c.order = nil
 	c.morder = nil
+	c.buf = nil
 	if g.slots != nil {
-		c.slots = make([]groupSlot, len(g.slots))
+		b := sinkPool.Get().(*sinkBuffers)
+		if cap(b.slots) < len(g.slots) {
+			b.slots = make([]groupSlot, len(g.slots))
+		}
+		c.buf = b
+		c.slots = b.slots[:len(g.slots)]
+		c.order = b.order[:0]
 	}
 	if g.m != nil {
 		c.m = make(map[string]*mapSlot)
 	}
 	return &c
+}
+
+// release re-zeroes the slots this clone touched (keeping the pool's
+// all-zero invariant at cost proportional to groups seen, not domain
+// size) and returns the buffers to the pool. The sink must not be used
+// afterwards. No-op for map-mode or prototype sinks.
+func (g *groupSink) release() {
+	b := g.buf
+	if b == nil {
+		return
+	}
+	for _, gi := range g.order {
+		g.slots[gi] = groupSlot{}
+	}
+	b.slots = g.slots
+	b.order = g.order[:0]
+	g.buf = nil
+	g.slots = nil
+	g.order = nil
+	sinkPool.Put(b)
 }
 
 // value returns the aggregate contribution of row i.
@@ -742,14 +786,17 @@ func (g *groupSink) rows() ([]GroupRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			key := ""
-			if g.mode == gmCodes {
-				key = g.dict[gi]
-			} else {
-				key = strconv.FormatInt(g.base+int64(gi), 10)
-			}
-			out = append(out, GroupRow{Key: key, Value: v, Rows: int(sl.st.n)})
+			out = append(out, GroupRow{Key: g.slotKey(gi), Value: v, Rows: int(sl.st.n)})
 		}
 	}
 	return out, nil
+}
+
+// slotKey renders a direct-mode slot index as the group key, exactly as
+// Column.StringAt would.
+func (g *groupSink) slotKey(gi int32) string {
+	if g.mode == gmCodes {
+		return g.dict[gi]
+	}
+	return strconv.FormatInt(g.base+int64(gi), 10)
 }

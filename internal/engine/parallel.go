@@ -52,23 +52,14 @@ func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int
 		}
 		col.warmOrdinals()
 	}
-	bper := (nblocks + workers - 1) / workers
-	chunk := bper * zoneBlockSize
+	bounds := chunkBounds(nblocks, workers, n)
 	if len(q.GroupBy) > 0 {
-		return t.parallelGroup(ctx, q, e, workers, chunk)
+		return t.parallelGroup(ctx, q, e, bounds)
 	}
 	fam := familyOf(q.Func)
-	states := make([]aggState, workers)
+	states := make([]aggState, len(bounds))
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
+	for w, bd := range bounds {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
@@ -76,7 +67,7 @@ func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int
 			// is published once, so adjacent states entries are not
 			// written per-row from different cores (no false sharing).
 			states[w] = scalarOver(e, col, fam, lo, hi)
-		}(w, lo, hi)
+		}(w, bd[0], bd[1])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
@@ -93,38 +84,71 @@ func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int
 	return Result{Value: v}, nil
 }
 
+// chunkBounds splits nblocks zone blocks across workers as evenly as
+// block granularity allows: the first nblocks%workers workers take one
+// extra block, so no worker's chunk exceeds another's by more than one
+// block. (The previous ceil-divide scheme gave every worker
+// ceil(nblocks/workers) blocks, which could leave the last worker a
+// fraction of the others' work — a visible straggler imbalance on
+// shard-sized tables.) Bounds stay zone-block-aligned as run requires;
+// the final bound is clamped to n rows.
+func chunkBounds(nblocks, workers, n int) [][2]int {
+	q, rem := nblocks/workers, nblocks%workers
+	bounds := make([][2]int, 0, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		b := q
+		if w < rem {
+			b++
+		}
+		if b == 0 {
+			continue
+		}
+		hi := lo + b*zoneBlockSize
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			bounds = append(bounds, [2]int{lo, hi})
+		}
+		lo = hi
+	}
+	return bounds
+}
+
 // parallelGroup fans a group-by query out over block-aligned chunks.
 // The group-key strategy (dictionary codes, small-domain ints, or the
 // map fallback) is resolved once and cloned per worker; the per-worker
 // tables are merged in worker order, which concatenates the chunks'
-// first-seen orders back into the serial first-seen order.
-func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, workers, chunk int) (Result, error) {
+// first-seen orders back into the serial first-seen order. Worker
+// clones draw their slot tables from the sink pool and return them
+// after the merge, so repeated queries stop reallocating per-worker
+// group tables.
+func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, bounds [][2]int) (Result, error) {
 	proto, err := newGroupSink(t, q)
 	if err != nil {
 		return Result{}, err
 	}
-	n := t.NumRows()
-	sinks := make([]*groupSink, workers)
+	sinks := make([]*groupSink, len(bounds))
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
+	for w, bd := range bounds {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			g := proto.cloneEmpty()
 			e.run(lo, hi, g.addRange, g.addWords)
 			sinks[w] = g
-		}(w, lo, hi)
+		}(w, bd[0], bd[1])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		// The scan was abandoned mid-chunk; still recycle the worker
+		// tables before unwinding.
+		for _, g := range sinks {
+			if g != nil {
+				g.release()
+			}
+		}
 		return Result{}, err
 	}
 	for _, g := range sinks {
@@ -132,6 +156,7 @@ func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, worker
 			continue
 		}
 		proto.mergeFrom(g)
+		g.release()
 	}
 	rows, err := proto.rows()
 	if err != nil {

@@ -1,0 +1,133 @@
+package engine
+
+import "context"
+
+// This file exports mergeable partial aggregates for scatter-gather
+// execution (internal/shard). A coordinator runs the same fused block
+// kernels as Execute on each horizontal partition, ships back one
+// Partial (or one per group), and folds them algebraically: SUM/COUNT
+// add, MIN/MAX fold, AVG and VAR finish from the merged (n, sum, sum2)
+// moments. Because Partial mirrors the serial accumulator exactly, a
+// merge across partitions that preserve row order reproduces the
+// unsharded answer bit-for-bit whenever the additions themselves are
+// exact (integer-valued data), and to reassociation otherwise.
+
+// Partial is the exported snapshot of one aggregate accumulator. The
+// zero value is the identity for Merge: N == 0 means "no rows", and
+// Min/Max are only meaningful when N > 0 (matching the engine's
+// internal accumulator semantics).
+type Partial struct {
+	N         int64
+	Sum, Sum2 float64
+	Min, Max  float64
+}
+
+// Merge folds another partial into p. Merging in partition (= row)
+// order reproduces the serial fold's associativity pattern.
+func (p *Partial) Merge(o Partial) {
+	if o.N == 0 {
+		return
+	}
+	if p.N == 0 {
+		*p = o
+		return
+	}
+	p.N += o.N
+	p.Sum += o.Sum
+	p.Sum2 += o.Sum2
+	if o.Min < p.Min {
+		p.Min = o.Min
+	}
+	if o.Max > p.Max {
+		p.Max = o.Max
+	}
+}
+
+// Finish produces the final aggregate value, with the same zero-row
+// semantics as the serial path (SUM/COUNT/AVG/VAR of nothing are 0;
+// MIN/MAX of nothing are 0 too, mirroring aggState).
+func (p Partial) Finish(f AggFunc) (float64, error) {
+	st := p.state()
+	return st.finish(f)
+}
+
+func (p Partial) state() aggState {
+	return aggState{n: p.N, sum: p.Sum, sum2: p.Sum2, min: p.Min, max: p.Max}
+}
+
+func (a aggState) partial() Partial {
+	return Partial{N: a.n, Sum: a.sum, Sum2: a.sum2, Min: a.min, Max: a.max}
+}
+
+// GroupPartial is one group's key and partial accumulator.
+type GroupPartial struct {
+	Key string
+	Partial
+}
+
+// PartialResult carries either a scalar partial or one partial per
+// group (first-seen order), mirroring Result.
+type PartialResult struct {
+	Scalar Partial
+	Groups []GroupPartial
+}
+
+// ExecutePartial runs the query over the full table but stops short of
+// finishing the aggregate, returning the raw mergeable moments instead.
+func (t *Table) ExecutePartial(q Query) (PartialResult, error) {
+	return t.ExecutePartialContext(context.Background(), q)
+}
+
+// ExecutePartialContext is ExecutePartial with cancellation, with the
+// same per-zone-block abort granularity as ExecuteContext.
+func (t *Table) ExecutePartialContext(ctx context.Context, q Query) (PartialResult, error) {
+	e, err := t.newBlockExec(q.Ranges)
+	if err != nil {
+		return PartialResult{}, err
+	}
+	release := e.watch(ctx)
+	defer release()
+	n := t.NumRows()
+	if len(q.GroupBy) == 0 {
+		var col *Column
+		if q.Func != Count {
+			col, err = t.Column(q.Col)
+			if err != nil {
+				return PartialResult{}, err
+			}
+		}
+		st := scalarOver(e, col, familyOf(q.Func), 0, n)
+		if err := ctx.Err(); err != nil {
+			return PartialResult{}, err
+		}
+		return PartialResult{Scalar: st.partial()}, nil
+	}
+	g, err := newGroupSink(t, q)
+	if err != nil {
+		return PartialResult{}, err
+	}
+	e.run(0, n, g.addRange, g.addWords)
+	if err := ctx.Err(); err != nil {
+		return PartialResult{}, err
+	}
+	return PartialResult{Groups: g.partials()}, nil
+}
+
+// partials materializes per-group accumulators in first-seen order,
+// rendering keys exactly as rows() would.
+func (g *groupSink) partials() []GroupPartial {
+	var out []GroupPartial
+	switch g.mode {
+	case gmMap:
+		out = make([]GroupPartial, 0, len(g.morder))
+		for _, key := range g.morder {
+			out = append(out, GroupPartial{Key: key, Partial: g.m[key].st.partial()})
+		}
+	default:
+		out = make([]GroupPartial, 0, len(g.order))
+		for _, gi := range g.order {
+			out = append(out, GroupPartial{Key: g.slotKey(gi), Partial: g.slots[gi].st.partial()})
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 
 	"aqppp/internal/core"
 	"aqppp/internal/engine"
+	"aqppp/internal/shard"
 )
 
 // Budget bounds one query or preparation a priori. The zero Budget is
@@ -81,6 +82,21 @@ func (ex *Executor) Prepare(ctx context.Context, tbl *engine.Table, cfg core.Bui
 	return proc, st, nil
 }
 
+// PrepareSharded builds per-shard processors (sample + BP-cube slice
+// per shard, in parallel) under the context and budget.
+func (ex *Executor) PrepareSharded(ctx context.Context, s *shard.Sharded, cfg core.BuildConfig, workers int, b Budget) (*shard.Prepared, error) {
+	run, cancel, budgeted := b.bound(ctx)
+	defer cancel()
+	if workers == 0 {
+		workers = ex.Workers
+	}
+	sp, err := shard.Prepare(run, s, cfg, workers)
+	if err != nil {
+		return nil, classify(ctx, run, "prepare", budgeted, err)
+	}
+	return sp, nil
+}
+
 // PrepareMulti builds a multi-template manager under the context and
 // budget.
 func (ex *Executor) PrepareMulti(ctx context.Context, tbl *engine.Table, cfg core.ManagerConfig, b Budget) (*core.Manager, error) {
@@ -115,22 +131,41 @@ func (ex *Executor) dispatch(ctx context.Context, p *Plan, b Budget) (Outcome, e
 		}
 		var res engine.Result
 		var err error
-		if workers > 1 {
+		switch {
+		case p.Shards != nil:
+			res, err = p.Shards.ExecuteContext(ctx, p.Query, workers)
+		case workers > 1:
 			res, err = p.Table.ExecuteParallelContext(ctx, p.Query, workers)
-		} else {
+		default:
 			res, err = p.Table.ExecuteContext(ctx, p.Query)
 		}
 		return Outcome{Exact: res}, err
 
 	case PlanApprox:
+		workers := p.Workers
+		if workers == 0 {
+			workers = ex.Workers
+		}
 		if len(p.Query.GroupBy) > 0 {
-			groups, err := p.Proc.AnswerGroups(ctx, p.Query)
+			var groups []core.GroupAnswer
+			var err error
+			if p.ShardPrep != nil {
+				groups, err = p.ShardPrep.AnswerGroups(ctx, p.Query, workers)
+			} else {
+				groups, err = p.Proc.AnswerGroups(ctx, p.Query)
+			}
 			if err != nil {
 				return Outcome{}, err
 			}
 			return Outcome{Groups: groups}, nil
 		}
-		ans, err := p.Proc.Answer(p.Query)
+		var ans core.Answer
+		var err error
+		if p.ShardPrep != nil {
+			ans, err = p.ShardPrep.Answer(ctx, p.Query, workers)
+		} else {
+			ans, err = p.Proc.Answer(p.Query)
+		}
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -144,6 +179,25 @@ func (ex *Executor) dispatch(ctx context.Context, p *Plan, b Budget) (Outcome, e
 		if b.MaxResamples > 0 && resamples > b.MaxResamples {
 			return Outcome{}, &Error{Kind: BudgetExceeded, Op: "bootstrap",
 				Err: fmt.Errorf("%d resamples exceed the budget's cap of %d", resamples, b.MaxResamples)}
+		}
+		if p.ShardPrep != nil {
+			// Per-shard bootstraps allocate their own scratch inside the
+			// shard layer; enforce the budget's cap against the summed
+			// footprint up front, same accounting as the single path.
+			need := core.BootstrapScratchBytes(p.ShardPrep.SampleSize())
+			if b.MaxScratchBytes > 0 && need > b.MaxScratchBytes {
+				return Outcome{}, &Error{Kind: BudgetExceeded, Op: "bootstrap",
+					Err: fmt.Errorf("bootstrap needs %d scratch bytes, budget caps at %d", need, b.MaxScratchBytes)}
+			}
+			workers := p.Workers
+			if workers == 0 {
+				workers = ex.Workers
+			}
+			ans, err := p.ShardPrep.AnswerBootstrap(ctx, p.Query, resamples, p.Seed, workers)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Answer: ans}, nil
 		}
 		sc, release, err := ex.scratchFor(p.Proc.Sample.Size(), b)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"aqppp/internal/core"
 	"aqppp/internal/engine"
+	"aqppp/internal/shard"
 	"aqppp/internal/sql"
 )
 
@@ -61,8 +62,16 @@ type Plan struct {
 	// Seed drives bootstrap resampling.
 	Seed uint64
 	// Workers bounds PlanExact parallelism; <= 1 runs the serial path
-	// (bit-identical to Table.Execute).
+	// (bit-identical to Table.Execute). For sharded plans it bounds the
+	// scatter-gather pool instead (<= 0 selects GOMAXPROCS).
 	Workers int
+	// Shards, when set, routes a PlanExact scan scatter-gather across
+	// the table's partitions instead of the single-table path.
+	Shards *shard.Sharded
+	// ShardPrep, when set, answers PlanApprox/PlanBootstrap plans from
+	// per-shard processors with a stratified CI merge (a shard is a
+	// stratum); Proc is nil on such plans.
+	ShardPrep *shard.Prepared
 }
 
 // CacheKey renders the plan as a canonical string suitable for keying a
@@ -103,6 +112,18 @@ func (p *Plan) CacheKey() string {
 	}
 	if p.Kind == PlanBootstrap {
 		fmt.Fprintf(&b, "|n=%d|seed=%d", p.Resamples, p.Seed)
+	}
+	// The shard layout folds into the key: merged float aggregates
+	// reassociate differently across layouts, and per-shard samples
+	// differ, so answers computed under one layout must never serve a
+	// plan running under another. (Unsharded plans keep their exact
+	// pre-sharding keys.)
+	if p.Shards != nil {
+		b.WriteString("|shards=")
+		b.WriteString(p.Shards.Layout.Signature())
+	} else if p.ShardPrep != nil {
+		b.WriteString("|shards=")
+		b.WriteString(p.ShardPrep.S.Layout.Signature())
 	}
 	return b.String()
 }
@@ -154,6 +175,33 @@ func PlanBootstrapStatement(proc *core.Processor, tbl *engine.Table, statement s
 		return nil, err
 	}
 	return &Plan{Kind: PlanBootstrap, Table: tbl, Query: q, Proc: proc, Resamples: resamples, Seed: seed}, nil
+}
+
+// PlanShardedQueryStatement compiles a statement against a sharded
+// preparation's source table into a scatter-gather AQP++ plan.
+func PlanShardedQueryStatement(sp *shard.Prepared, tbl *engine.Table, statement string) (*Plan, error) {
+	q, err := compileFor("query", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanApprox, Table: tbl, Query: q, ShardPrep: sp}, nil
+}
+
+// PlanShardedQueryStruct wraps an already-compiled engine.Query into a
+// scatter-gather AQP++ plan.
+func PlanShardedQueryStruct(sp *shard.Prepared, tbl *engine.Table, q engine.Query) *Plan {
+	return &Plan{Kind: PlanApprox, Table: tbl, Query: q, ShardPrep: sp}
+}
+
+// PlanShardedBootstrapStatement compiles a statement into a per-shard
+// bootstrap plan (independent seeded streams per shard, CI merge at the
+// coordinator).
+func PlanShardedBootstrapStatement(sp *shard.Prepared, tbl *engine.Table, statement string, resamples int, seed uint64) (*Plan, error) {
+	q, err := compileFor("bootstrap", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanBootstrap, Table: tbl, Query: q, ShardPrep: sp, Resamples: resamples, Seed: seed}, nil
 }
 
 // PlanMultiStatement compiles a statement into a multi-template plan.

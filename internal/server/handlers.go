@@ -475,6 +475,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqIn
 		QuotaClients:   s.quota.Clients(),
 		ErrorKinds:     kinds,
 		Endpoints:      eps,
+		Shards:         s.db.ShardSnapshots(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

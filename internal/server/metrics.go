@@ -185,6 +185,43 @@ func (s *Server) renderMetrics() []byte {
 		fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_count{endpoint=\"%s\"} %d\n",
 			name, ep.requests)
 	}
+
+	// Sharded tables: layout gauges, pruning counters, and per-shard
+	// scan-latency histograms (same log-scale buckets as the request
+	// histogram, so the two line up on one dashboard).
+	snaps := s.db.ShardSnapshots()
+	if len(snaps) > 0 {
+		promHead(&b, "aqppp_shard_rows", "gauge", "Rows resident in each shard of a sharded table.")
+		for _, sn := range snaps {
+			for _, sh := range sn.Shards {
+				fmt.Fprintf(&b, "aqppp_shard_rows{table=\"%s\",shard=\"%d\"} %d\n",
+					promEscape(sn.Table), sh.Index, sh.Rows)
+			}
+		}
+		promHead(&b, "aqppp_shards_pruned_total", "counter", "Shard scans skipped by range-bound pruning.")
+		for _, sn := range snaps {
+			fmt.Fprintf(&b, "aqppp_shards_pruned_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Pruned)
+		}
+		promHead(&b, "aqppp_shard_scan_duration_seconds", "histogram", "Per-shard sub-plan scan time (log-scale buckets, 1µs–1s).")
+		for _, sn := range snaps {
+			table := promEscape(sn.Table)
+			for _, sh := range sn.Shards {
+				var cum int64
+				for i := 0; i < latBuckets-1; i++ {
+					cum += sh.Latency[i]
+					le := math.Pow(10, latLogMin+float64(i+1)*width) / 1e6
+					fmt.Fprintf(&b, "aqppp_shard_scan_duration_seconds_bucket{table=\"%s\",shard=\"%d\",le=\"%s\"} %d\n",
+						table, sh.Index, promFloat(le), cum)
+				}
+				fmt.Fprintf(&b, "aqppp_shard_scan_duration_seconds_bucket{table=\"%s\",shard=\"%d\",le=\"+Inf\"} %d\n",
+					table, sh.Index, sh.Scans)
+				fmt.Fprintf(&b, "aqppp_shard_scan_duration_seconds_sum{table=\"%s\",shard=\"%d\"} %s\n",
+					table, sh.Index, promFloat(sh.LatencySumUS/1e6))
+				fmt.Fprintf(&b, "aqppp_shard_scan_duration_seconds_count{table=\"%s\",shard=\"%d\"} %d\n",
+					table, sh.Index, sh.Scans)
+			}
+		}
+	}
 	return b.Bytes()
 }
 

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"aqppp/internal/shard"
 	"aqppp/internal/stats"
 )
 
@@ -131,6 +132,9 @@ type StatuszResponse struct {
 	QuotaClients   int                     `json:"quota_clients"`
 	ErrorKinds     map[string]int64        `json:"error_kinds,omitempty"`
 	Endpoints      map[string]EndpointJSON `json:"endpoints"`
+	// Shards lists each sharded table's layout and per-shard scan
+	// counters (absent when no table is sharded).
+	Shards []shard.Snapshot `json:"shards,omitempty"`
 }
 
 // snapshot renders the registry for /statusz.

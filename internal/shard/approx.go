@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"aqppp/internal/aqp"
+	"aqppp/internal/core"
+	"aqppp/internal/engine"
+	"aqppp/internal/ident"
+	"aqppp/internal/stats"
+)
+
+// aqpEstimate builds an estimate literal (merge code constructs many).
+func aqpEstimate(v, hw, conf float64, rows int) aqp.Estimate {
+	return aqp.Estimate{Value: v, HalfWidth: hw, Confidence: conf, SampleRows: rows}
+}
+
+// Prepared holds per-shard AQP++ state: each non-empty shard owns its
+// own sample, identification subsample and BP-cube slice, built in
+// parallel by Prepare. Procs is index-aligned with S.Shards (nil for
+// empty shards).
+type Prepared struct {
+	S     *Sharded
+	Procs []*core.Processor
+	// BuildStats is per-shard preprocessing cost, index-aligned.
+	BuildStats []core.BuildStats
+	// Confidence is the CI level every shard was built with.
+	Confidence float64
+}
+
+// Prepare builds the per-shard processors under a bounded pool. The
+// config's cell budget is split evenly across shards (each slice gets
+// at least one cell), and each shard draws randomness from its own
+// seeded stream (cfg.Seed advanced by shard index), so samples are
+// independent across shards — the condition the stratified variance
+// composition needs. cfg.PrebuiltSample cannot be used here: a global
+// sample's rows span shards.
+func Prepare(ctx context.Context, s *Sharded, cfg core.BuildConfig, workers int) (*Prepared, error) {
+	if cfg.PrebuiltSample != nil {
+		return nil, fmt.Errorf("shard: PrebuiltSample is not supported for sharded prepare (each shard draws its own)")
+	}
+	conf := cfg.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	n := len(s.Shards)
+	perBudget := cfg.CellBudget / n
+	if perBudget < 1 {
+		perBudget = 1
+	}
+	p := &Prepared{
+		S:          s,
+		Procs:      make([]*core.Processor, n),
+		BuildStats: make([]core.BuildStats, n),
+		Confidence: conf,
+	}
+	errs := make([]error, n)
+	forEach(ctx, workers, n, func(h int) {
+		if s.Shards[h].Rows == 0 {
+			return // empty shard: no sample to draw, contributes zero
+		}
+		shCfg := cfg
+		shCfg.CellBudget = perBudget
+		shCfg.Seed = cfg.Seed + uint64(h+1)*seedStride
+		proc, st, err := core.Build(ctx, s.Shards[h].Table, shCfg)
+		if err != nil {
+			errs[h] = fmt.Errorf("shard %d: %w", h, err)
+			return
+		}
+		p.Procs[h], p.BuildStats[h] = proc, st
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// SampleSize returns the total sample rows across shards (the budget
+// accounting unit for bootstrap scratch).
+func (p *Prepared) SampleSize() int {
+	n := 0
+	for _, proc := range p.Procs {
+		if proc != nil {
+			n += proc.Sample.Size()
+		}
+	}
+	return n
+}
+
+// shardAnswers fans q out to every active shard's processor and
+// collects the per-shard answers (identification runs per cube slice).
+// Pruned and empty shards contribute nothing — for SUM/COUNT their true
+// contribution is exactly zero, so pruning tightens the interval as
+// well as the latency.
+func (p *Prepared) shardAnswers(ctx context.Context, q engine.Query, workers int,
+	answer func(proc *core.Processor) (core.Answer, error)) ([]core.Answer, error) {
+	active := p.activeWithProc(q)
+	answers := make([]core.Answer, len(active))
+	errs := make([]error, len(active))
+	forEach(ctx, workers, len(active), func(k int) {
+		h := active[k]
+		t0 := time.Now()
+		answers[k], errs[k] = answer(p.Procs[h])
+		p.S.recordScan(h, time.Since(t0))
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return answers, nil
+}
+
+// activeWithProc is activeShards filtered to shards that hold a
+// processor.
+func (p *Prepared) activeWithProc(q engine.Query) []int {
+	active := p.S.activeShards(q.Ranges)
+	out := active[:0]
+	for _, h := range active {
+		if p.Procs[h] != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// mergeAdditive composes per-shard answers for an additive aggregate
+// (SUM/COUNT): point estimates add; since shards are disjoint strata
+// with independent samples, variances add too, so the merged half-width
+// is λ·sqrt(Σ_h (hw_h/λ)²) — the per-stratum composition of
+// internal/aqp's stratifiedSum with a shard as the stratum. PreValue
+// adds (each shard anchors its own slice); Pre reports the first
+// shard's non-φ identification for diagnostics.
+func mergeAdditive(answers []core.Answer, conf float64) core.Answer {
+	lambda := stats.ZScore(conf)
+	merged := core.Answer{Pre: ident.Pre{Phi: true}}
+	varSum := 0.0
+	for _, a := range answers {
+		merged.Estimate.Value += a.Estimate.Value
+		w := a.Estimate.HalfWidth / lambda
+		varSum += w * w
+		merged.Estimate.SampleRows += a.Estimate.SampleRows
+		merged.Candidates += a.Candidates
+		merged.PreValue += a.PreValue
+		if merged.Pre.IsPhi() && !a.Pre.IsPhi() {
+			merged.Pre = a.Pre
+		}
+	}
+	merged.Estimate.HalfWidth = lambda * math.Sqrt(varSum)
+	merged.Estimate.Confidence = conf
+	return merged
+}
+
+// Answer answers a scalar query across shards. SUM and COUNT merge
+// additively with composed variance; AVG is answered as merged-SUM over
+// merged-COUNT with a conservative interval (hw_S + |r|·hw_C)/|C|, an
+// upper bound on the delta-method width since cross-terms are dropped;
+// MIN/MAX fold per-shard exact index answers.
+func (p *Prepared) Answer(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
+	if len(q.GroupBy) > 0 {
+		return core.Answer{}, fmt.Errorf("shard: use AnswerGroups for GROUP BY queries")
+	}
+	switch q.Func {
+	case engine.Sum, engine.Count:
+		answers, err := p.shardAnswers(ctx, q, workers, func(proc *core.Processor) (core.Answer, error) {
+			return proc.Answer(q)
+		})
+		if err != nil {
+			return core.Answer{}, err
+		}
+		return mergeAdditive(answers, p.Confidence), nil
+	case engine.Avg:
+		return p.answerAvg(ctx, q, workers)
+	case engine.Min, engine.Max:
+		return p.answerMinMax(ctx, q, workers)
+	default:
+		return core.Answer{}, fmt.Errorf("shard: %w aggregate %v", core.ErrUnsupported, q.Func)
+	}
+}
+
+func (p *Prepared) answerAvg(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
+	sumQ, cntQ := q, q
+	sumQ.Func = engine.Sum
+	cntQ.Func = engine.Count
+	sumAns, err := p.Answer(ctx, sumQ, workers)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	cntAns, err := p.Answer(ctx, cntQ, workers)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	return ratioAnswer(sumAns, cntAns, p.Confidence), nil
+}
+
+// ratioAnswer forms AVG = SUM/COUNT from two merged answers. The
+// half-width (|hw_S| + |r|·hw_C)/|C| bounds the linearized interval:
+// |d(S/C)| <= (|dS| + |r||dC|)/|C|.
+func ratioAnswer(sumAns, cntAns core.Answer, conf float64) core.Answer {
+	if cntAns.Estimate.Value == 0 {
+		return core.Answer{
+			Estimate: aqpEstimate(0, 0, conf, sumAns.Estimate.SampleRows),
+			Pre:      sumAns.Pre,
+		}
+	}
+	r := sumAns.Estimate.Value / cntAns.Estimate.Value
+	c := math.Abs(cntAns.Estimate.Value)
+	hw := (sumAns.Estimate.HalfWidth + math.Abs(r)*cntAns.Estimate.HalfWidth) / c
+	return core.Answer{
+		Estimate:   aqpEstimate(r, hw, conf, sumAns.Estimate.SampleRows),
+		Pre:        sumAns.Pre,
+		PreValue:   sumAns.PreValue,
+		Candidates: sumAns.Candidates + cntAns.Candidates,
+	}
+}
+
+func (p *Prepared) answerMinMax(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
+	answers, err := p.shardAnswers(ctx, q, workers, func(proc *core.Processor) (core.Answer, error) {
+		return proc.Answer(q)
+	})
+	if err != nil {
+		return core.Answer{}, err
+	}
+	if len(answers) == 0 {
+		return core.Answer{Estimate: aqpEstimate(0, 0, 1, 0), Pre: ident.Pre{Phi: true}}, nil
+	}
+	best := answers[0]
+	for _, a := range answers[1:] {
+		v, bv := a.Estimate.Value, best.Estimate.Value
+		if (q.Func == engine.Min && v < bv) || (q.Func == engine.Max && v > bv) {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+// AnswerGroups answers a GROUP BY query across shards: each shard
+// answers the groups its sample observed, and per-key answers merge
+// with the same stratified composition as scalars. AVG groups merge as
+// the ratio of merged SUM and COUNT group answers. Output is sorted by
+// key (rows are redistributed across shards, so a global first-seen
+// order does not exist).
+func (p *Prepared) AnswerGroups(ctx context.Context, q engine.Query, workers int) ([]core.GroupAnswer, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("shard: AnswerGroups needs GROUP BY")
+	}
+	switch q.Func {
+	case engine.Sum, engine.Count:
+		perShard, err := p.shardGroupAnswers(ctx, q, workers)
+		if err != nil {
+			return nil, err
+		}
+		return mergeGroupAnswers(perShard, p.Confidence), nil
+	case engine.Avg:
+		sumQ, cntQ := q, q
+		sumQ.Func = engine.Sum
+		cntQ.Func = engine.Count
+		sums, err := p.AnswerGroups(ctx, sumQ, workers)
+		if err != nil {
+			return nil, err
+		}
+		cnts, err := p.AnswerGroups(ctx, cntQ, workers)
+		if err != nil {
+			return nil, err
+		}
+		byKey := make(map[string]core.Answer, len(cnts))
+		for _, g := range cnts {
+			byKey[g.Key] = g.Answer
+		}
+		out := make([]core.GroupAnswer, 0, len(sums))
+		for _, g := range sums {
+			cnt, ok := byKey[g.Key]
+			if !ok || cnt.Estimate.Value == 0 {
+				continue // no mass estimate for the group: no ratio to form
+			}
+			out = append(out, core.GroupAnswer{Key: g.Key, Answer: ratioAnswer(g.Answer, cnt, p.Confidence)})
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("shard: %w GROUP BY aggregate %v", core.ErrUnsupported, q.Func)
+	}
+}
+
+func (p *Prepared) shardGroupAnswers(ctx context.Context, q engine.Query, workers int) ([][]core.GroupAnswer, error) {
+	active := p.activeWithProc(q)
+	perShard := make([][]core.GroupAnswer, len(active))
+	errs := make([]error, len(active))
+	forEach(ctx, workers, len(active), func(k int) {
+		h := active[k]
+		t0 := time.Now()
+		perShard[k], errs[k] = p.Procs[h].AnswerGroups(ctx, q)
+		p.S.recordScan(h, time.Since(t0))
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perShard, nil
+}
+
+// mergeGroupAnswers merges per-shard group answers by key (additive
+// aggregates only), sorted by key.
+func mergeGroupAnswers(perShard [][]core.GroupAnswer, conf float64) []core.GroupAnswer {
+	byKey := make(map[string][]core.Answer)
+	keys := make([]string, 0, 16)
+	for _, groups := range perShard {
+		for _, g := range groups {
+			if _, ok := byKey[g.Key]; !ok {
+				keys = append(keys, g.Key)
+			}
+			byKey[g.Key] = append(byKey[g.Key], g.Answer)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]core.GroupAnswer, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, core.GroupAnswer{Key: key, Answer: mergeAdditive(byKey[key], conf)})
+	}
+	return out
+}
+
+// AnswerBootstrap answers SUM/COUNT with per-shard empirical bootstrap
+// intervals: every shard resamples its own sample under an independent
+// seeded stream (seed advanced by shard index, so shard replicates
+// never correlate), and the per-shard percentile half-widths compose as
+// independent variances: hw = sqrt(Σ hw_h²). Points add exactly like
+// the closed-form path.
+func (p *Prepared) AnswerBootstrap(ctx context.Context, q engine.Query, resamples int, seed uint64, workers int) (core.Answer, error) {
+	if q.Func != engine.Sum && q.Func != engine.Count {
+		return core.Answer{}, fmt.Errorf("shard: AnswerBootstrap supports SUM/COUNT, got %v: %w", q.Func, core.ErrUnsupported)
+	}
+	if len(q.GroupBy) > 0 {
+		return core.Answer{}, fmt.Errorf("shard: AnswerBootstrap does not handle GROUP BY: %w", core.ErrUnsupported)
+	}
+	active := p.activeWithProc(q)
+	answers := make([]core.Answer, len(active))
+	errs := make([]error, len(active))
+	forEach(ctx, workers, len(active), func(k int) {
+		h := active[k]
+		t0 := time.Now()
+		shardSeed := seed + uint64(h+1)*seedStride
+		answers[k], errs[k] = p.Procs[h].AnswerBootstrap(ctx, q, resamples, shardSeed, nil)
+		p.S.recordScan(h, time.Since(t0))
+	})
+	if err := ctx.Err(); err != nil {
+		return core.Answer{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return core.Answer{}, err
+		}
+	}
+	merged := core.Answer{Pre: ident.Pre{Phi: true}}
+	hw2 := 0.0
+	for _, a := range answers {
+		merged.Estimate.Value += a.Estimate.Value
+		hw2 += a.Estimate.HalfWidth * a.Estimate.HalfWidth
+		merged.Estimate.SampleRows += a.Estimate.SampleRows
+		merged.Candidates += a.Candidates
+		merged.PreValue += a.PreValue
+		if merged.Pre.IsPhi() && !a.Pre.IsPhi() {
+			merged.Pre = a.Pre
+		}
+	}
+	merged.Estimate.HalfWidth = math.Sqrt(hw2)
+	merged.Estimate.Confidence = p.Confidence
+	return merged, nil
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"aqppp/internal/engine"
+)
+
+// Execute runs an exact query scatter-gather across the shards with the
+// given fan-out (<= 0 selects GOMAXPROCS).
+func (s *Sharded) Execute(q engine.Query, workers int) (engine.Result, error) {
+	return s.ExecuteContext(context.Background(), q, workers)
+}
+
+// ExecuteContext is Execute with cancellation: each shard scan polls
+// the context once per zone block (the engine's standard granularity),
+// and the pool stops launching new shards once the context dies.
+//
+// Merge semantics: scalar partials fold in shard-index order (SUM/COUNT
+// add, MIN/MAX fold, AVG/VAR finish from merged moments), so results
+// are deterministic for a fixed layout and bit-identical to the
+// unsharded scan whenever the additions are exact (COUNT/MIN/MAX
+// always; SUM/AVG/VAR for integer-valued data). Group-by results are
+// returned sorted by group key — rows are redistributed across shards,
+// so the serial first-seen order is not reconstructible; sorting makes
+// the sharded order deterministic and layout-independent.
+func (s *Sharded) ExecuteContext(ctx context.Context, q engine.Query, workers int) (engine.Result, error) {
+	// Validate the query against the schema up front, so a query that
+	// prunes every shard still reports unknown columns exactly like the
+	// unsharded path would.
+	if err := s.validate(q); err != nil {
+		return engine.Result{}, err
+	}
+	active := s.activeShards(q.Ranges)
+	partials := make([]engine.PartialResult, len(active))
+	errs := make([]error, len(active))
+	forEach(ctx, workers, len(active), func(k int) {
+		h := active[k]
+		t0 := time.Now()
+		pr, err := s.Shards[h].Table.ExecutePartialContext(ctx, q)
+		s.recordScan(h, time.Since(t0))
+		partials[k], errs[k] = pr, err
+	})
+	if err := ctx.Err(); err != nil {
+		return engine.Result{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return engine.Result{}, err
+		}
+	}
+	if len(q.GroupBy) == 0 {
+		var total engine.Partial
+		for k := range partials {
+			total.Merge(partials[k].Scalar)
+		}
+		v, err := total.Finish(q.Func)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		return engine.Result{Value: v}, nil
+	}
+	return mergeGroups(partials, q.Func)
+}
+
+// validate resolves every column the query names against the shard
+// schema (all shards share the source schema, so shard 0 stands in).
+func (s *Sharded) validate(q engine.Query) error {
+	t := s.Shards[0].Table
+	if q.Func != engine.Count {
+		if _, err := t.Column(q.Col); err != nil {
+			return err
+		}
+	}
+	for _, r := range q.Ranges {
+		if _, err := t.Column(r.Col); err != nil {
+			return err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if _, err := t.Column(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeGroups folds per-shard group partials by key and finishes each
+// merged accumulator, emitting rows sorted by key.
+func mergeGroups(partials []engine.PartialResult, f engine.AggFunc) (engine.Result, error) {
+	acc := make(map[string]*engine.Partial)
+	keys := make([]string, 0, 16)
+	for k := range partials {
+		for _, gp := range partials[k].Groups {
+			p, ok := acc[gp.Key]
+			if !ok {
+				p = &engine.Partial{}
+				acc[gp.Key] = p
+				keys = append(keys, gp.Key)
+			}
+			p.Merge(gp.Partial)
+		}
+	}
+	sort.Strings(keys)
+	rows := make([]engine.GroupRow, 0, len(keys))
+	for _, key := range keys {
+		p := acc[key]
+		v, err := p.Finish(f)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		rows = append(rows, engine.GroupRow{Key: key, Value: v, Rows: int(p.N)})
+	}
+	return engine.Result{Groups: rows}, nil
+}

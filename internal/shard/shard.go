@@ -1,0 +1,336 @@
+// Package shard implements in-process sharded scatter-gather execution:
+// one logical table partitioned by range or hash into N shards, each
+// owning its own engine columns (and therefore zone maps), its own
+// sample and its own BP-cube slice. A coordinator plans once against
+// the ordinary Plan IR, derives per-shard sub-work (range predicates
+// pruned against shard bounds so non-overlapping shards are skipped
+// entirely), fans out over a bounded worker pool, and merges partials:
+// exact aggregates combine algebraically (engine.Partial), approximate
+// answers combine via per-stratum variance composition — a shard is a
+// stratum, so per-shard uniform estimates compose exactly like the
+// stratified-sample math in internal/aqp — and bootstrap replicates
+// run per-shard under independent seeded streams before the CI merge.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+// Strategy selects how rows are assigned to shards.
+type Strategy uint8
+
+const (
+	// ByRange partitions on the layout column's sort order: shard h
+	// holds the h-th quantile span of rows ordered by the column, so a
+	// range predicate on that column overlaps few shards and the rest
+	// are pruned without touching row data. This also re-clusters data
+	// that is shuffled in row order — the straddle-heavy workloads zone
+	// maps cannot help with.
+	ByRange Strategy = iota
+	// ByHash spreads rows by a hash of the layout column's ordinal,
+	// balancing skewed inserts at the cost of no range pruning.
+	ByHash
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case ByRange:
+		return "range"
+	case ByHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Layout describes a partitioning: the strategy, the clustering column
+// it keys on, and the shard count.
+type Layout struct {
+	Strategy Strategy
+	Column   string
+	N        int
+}
+
+// Signature renders the layout canonically for cache keys: two plans
+// over different layouts must not share cached answers (float merges
+// reassociate differently across layouts).
+func (l Layout) Signature() string {
+	return fmt.Sprintf("%s:%s:%d", l.Strategy, l.Column, l.N)
+}
+
+// Shard is one horizontal partition: a full-schema engine table holding
+// its rows (in source row order), plus the layout column's observed
+// ordinal bounds for pruning. Lo/Hi are meaningful only when Rows > 0.
+type Shard struct {
+	Index  int
+	Table  *engine.Table
+	Rows   int
+	Lo, Hi float64
+}
+
+// shardObs is one shard's scan observability: how many sub-plans ran
+// against it and their latency distribution (log10 microseconds, the
+// same bucketing the serving layer's request histogram uses).
+type shardObs struct {
+	mu      sync.Mutex
+	scans   uint64
+	sumUS   float64
+	latency *stats.Histogram
+}
+
+// Latency histogram domain: log10(µs) from 1µs to 1s, 24 buckets —
+// matching the serving layer so the two histograms line up in /metrics.
+const (
+	latLogMin  = 0.0
+	latLogMax  = 6.0
+	latBuckets = 24
+)
+
+// Sharded is a partitioned table: the coordinator-side handle that
+// executes queries scatter-gather across its shards.
+type Sharded struct {
+	// Name is the logical (source) table name.
+	Name   string
+	Layout Layout
+	Shards []*Shard
+
+	obs    []shardObs
+	pruned atomic.Uint64
+}
+
+// seedStride separates per-shard random streams: shard h's seed is the
+// caller's seed plus (h+1)·seedStride (the 64-bit golden ratio, so
+// nearby seeds land in well-separated stream states).
+const seedStride = 0x9e3779b97f4a7c15
+
+// Partition splits tbl into layout.N shards. Range layouts order rows
+// by the layout column (ties broken by row index, like the engine's
+// sorted views) and cut the order into N near-equal spans; hash layouts
+// assign each row by a mixed hash of the column's ordinal. Within every
+// shard, rows keep their source order, so per-shard scans fold in the
+// same order the unsharded scan would have folded that subset.
+func Partition(tbl *engine.Table, layout Layout) (*Sharded, error) {
+	if layout.N < 1 {
+		return nil, fmt.Errorf("shard: layout needs N >= 1 shards, got %d", layout.N)
+	}
+	col, err := tbl.Column(layout.Column)
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.NumRows()
+	spans := make([][]int, layout.N)
+	switch layout.Strategy {
+	case ByRange:
+		idx, err := tbl.SortedIndexByOrdinal(layout.Column)
+		if err != nil {
+			return nil, err
+		}
+		for h := 0; h < layout.N; h++ {
+			lo := h * n / layout.N
+			hi := (h + 1) * n / layout.N
+			span := append([]int(nil), idx[lo:hi]...)
+			sort.Ints(span) // restore source row order within the shard
+			spans[h] = span
+		}
+	case ByHash:
+		for i := 0; i < n; i++ {
+			h := int(mix64(math.Float64bits(col.Ordinal(i))) % uint64(layout.N))
+			spans[h] = append(spans[h], i)
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown strategy %v", layout.Strategy)
+	}
+	s := &Sharded{Name: tbl.Name, Layout: layout, obs: make([]shardObs, layout.N)}
+	for h, span := range spans {
+		st := tbl.Gather(fmt.Sprintf("%s#%d", tbl.Name, h), span)
+		sh := &Shard{Index: h, Table: st, Rows: len(span)}
+		if len(span) > 0 {
+			c := st.MustColumn(layout.Column)
+			lo, hi := c.Ordinal(0), c.Ordinal(0)
+			for i := 1; i < len(span); i++ {
+				v := c.Ordinal(i)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			sh.Lo, sh.Hi = lo, hi
+		}
+		s.Shards = append(s.Shards, sh)
+	}
+	for h := range s.obs {
+		s.obs[h].latency = stats.NewHistogram(latLogMin, latLogMax, latBuckets)
+	}
+	return s, nil
+}
+
+// mix64 is SplitMix64's finalizer: a cheap, well-distributed 64-bit
+// mixer for hash placement.
+func mix64(x uint64) uint64 {
+	x += seedStride
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// activeShards returns the indices of shards a query with the given
+// ranges must scan, in shard order. Empty shards are skipped outright;
+// under a range layout, a shard whose bound interval misses any range
+// on the layout column is pruned (every row would fail that conjunct)
+// and counted in the pruned metric.
+func (s *Sharded) activeShards(ranges []engine.Range) []int {
+	out := make([]int, 0, len(s.Shards))
+	for i, sh := range s.Shards {
+		if sh.Rows == 0 {
+			continue
+		}
+		if s.Layout.Strategy == ByRange && s.prunedBy(sh, ranges) {
+			s.pruned.Add(1)
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// prunedBy reports whether some range on the layout column excludes the
+// whole shard. Bounds are inclusive on both sides, so overlap requires
+// r.Lo <= sh.Hi && r.Hi >= sh.Lo; adjacent shards that share a boundary
+// value both stay active (ties can land either side of a cut).
+func (s *Sharded) prunedBy(sh *Shard, ranges []engine.Range) bool {
+	for _, r := range ranges {
+		if r.Col != s.Layout.Column {
+			continue
+		}
+		if r.Hi < sh.Lo || r.Lo > sh.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// recordScan notes one sub-plan execution against shard h.
+func (s *Sharded) recordScan(h int, d time.Duration) {
+	us := d.Seconds() * 1e6
+	if us < 1 {
+		us = 1
+	}
+	o := &s.obs[h]
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.scans++
+	o.sumUS += us
+	o.latency.Add(math.Log10(us))
+}
+
+// ShardInfo is one shard's observable state. Latency holds the shard's
+// scan-latency bucket counts (log10-µs buckets over [0, 6), 24
+// buckets, the serving layer's scheme).
+type ShardInfo struct {
+	Index   int     `json:"index"`
+	Rows    int     `json:"rows"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Scans   uint64  `json:"scans"`
+	Latency []int64 `json:"-"`
+	// LatencySumUS is the total scan time in microseconds (the _sum
+	// series of the Prometheus histogram rendered from Latency).
+	LatencySumUS float64 `json:"-"`
+}
+
+// Snapshot is a point-in-time view of a sharded table's layout and
+// per-shard scan counters, for /statusz and /metrics.
+type Snapshot struct {
+	Table    string      `json:"table"`
+	Strategy string      `json:"strategy"`
+	Column   string      `json:"column"`
+	Shards   []ShardInfo `json:"shards"`
+	Pruned   uint64      `json:"pruned"`
+}
+
+// Snapshot captures the current layout and counters.
+func (s *Sharded) Snapshot() Snapshot {
+	snap := Snapshot{
+		Table:    s.Name,
+		Strategy: s.Layout.Strategy.String(),
+		Column:   s.Layout.Column,
+		Pruned:   s.pruned.Load(),
+	}
+	for i, sh := range s.Shards {
+		o := &s.obs[i]
+		o.mu.Lock()
+		counts := append([]int64(nil), o.latency.Counts...)
+		scans, sumUS := o.scans, o.sumUS
+		o.mu.Unlock()
+		snap.Shards = append(snap.Shards, ShardInfo{
+			Index: sh.Index, Rows: sh.Rows, Lo: sh.Lo, Hi: sh.Hi,
+			Scans: scans, Latency: counts, LatencySumUS: sumUS,
+		})
+	}
+	return snap
+}
+
+// PrunedCount reports how many shard scans were skipped by bound
+// pruning since construction.
+func (s *Sharded) PrunedCount() uint64 { return s.pruned.Load() }
+
+// NumRows returns the total row count across shards.
+func (s *Sharded) NumRows() int {
+	n := 0
+	for _, sh := range s.Shards {
+		n += sh.Rows
+	}
+	return n
+}
+
+// forEach runs fn(k) for k in [0, n) over a bounded worker pool.
+// Workers pull indices from a shared counter, so a slow shard does not
+// serialize the rest; a canceled ctx stops workers from *starting* new
+// indices (work in flight unwinds through the engine's own per-block
+// cancellation checks).
+func forEach(ctx context.Context, workers, n int, fn func(k int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(k)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n || ctx.Err() != nil {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}

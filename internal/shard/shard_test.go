@@ -1,0 +1,370 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+// intTable builds a table whose measure column holds integer values, so
+// SUM/AVG/VAR moments stay exactly representable in float64 and any
+// association of the additions yields bit-identical results — the
+// precondition for the ExactEqual assertions below. The k column is
+// uncorrelated with row order (straddle-heavy for zone maps, and the
+// interesting case for range re-clustering).
+func intTable(t *testing.T, n int, seed uint64) *engine.Table {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	k := make([]int64, n)
+	c := make([]int64, n)
+	v := make([]float64, n)
+	g := make([]string, n)
+	groups := []string{"a", "b", "c", "d", "e", "f"}
+	for i := 0; i < n; i++ {
+		k[i] = int64(r.Intn(1000))
+		c[i] = int64(r.Intn(50))
+		v[i] = float64(r.Intn(200) - 50)
+		g[i] = groups[r.Intn(len(groups))]
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("k", k),
+		engine.NewIntColumn("c", c),
+		engine.NewFloatColumn("v", v),
+		engine.NewStringColumn("g", g),
+	)
+}
+
+// floatTable is intTable with a continuous measure (additions round, so
+// equivalence is only up to reassociation error).
+func floatTable(t *testing.T, n int, seed uint64) *engine.Table {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	k := make([]int64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = int64(r.Intn(1000))
+		v[i] = 100 + 15*r.NormFloat64()
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("k", k),
+		engine.NewFloatColumn("v", v),
+	)
+}
+
+func mustPartition(t *testing.T, tbl *engine.Table, layout Layout) *Sharded {
+	t.Helper()
+	s, err := Partition(tbl, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	tbl := intTable(t, 5000, 1)
+	for _, layout := range []Layout{
+		{Strategy: ByRange, Column: "k", N: 1},
+		{Strategy: ByRange, Column: "k", N: 4},
+		{Strategy: ByRange, Column: "k", N: 7},
+		{Strategy: ByHash, Column: "k", N: 4},
+	} {
+		s := mustPartition(t, tbl, layout)
+		if got := len(s.Shards); got != layout.N {
+			t.Fatalf("%v: %d shards, want %d", layout, got, layout.N)
+		}
+		if got := s.NumRows(); got != tbl.NumRows() {
+			t.Errorf("%v: shards hold %d rows, table has %d", layout, got, tbl.NumRows())
+		}
+		for h, sh := range s.Shards {
+			if sh.Index != h {
+				t.Errorf("%v: shard %d has index %d", layout, h, sh.Index)
+			}
+			if sh.Rows != sh.Table.NumRows() {
+				t.Errorf("%v: shard %d Rows=%d but table has %d", layout, h, sh.Rows, sh.Table.NumRows())
+			}
+			if sh.Rows == 0 {
+				continue
+			}
+			col := sh.Table.MustColumn("k")
+			for i := 0; i < sh.Rows; i++ {
+				if v := col.Ordinal(i); v < sh.Lo || v > sh.Hi {
+					t.Fatalf("%v: shard %d row %d value %v outside bounds [%v, %v]",
+						layout, h, i, v, sh.Lo, sh.Hi)
+				}
+			}
+		}
+		// Range shards tile the column's sort order: bounds must not
+		// interleave beyond boundary ties.
+		if layout.Strategy == ByRange {
+			for h := 1; h < layout.N; h++ {
+				prev, cur := s.Shards[h-1], s.Shards[h]
+				if prev.Rows == 0 || cur.Rows == 0 {
+					continue
+				}
+				if cur.Lo < prev.Hi {
+					t.Errorf("%v: shard %d Lo %v < shard %d Hi %v", layout, h, cur.Lo, h-1, prev.Hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	tbl := intTable(t, 100, 2)
+	if _, err := Partition(tbl, Layout{Strategy: ByRange, Column: "k", N: 0}); err == nil {
+		t.Error("N=0 did not fail")
+	}
+	if _, err := Partition(tbl, Layout{Strategy: ByRange, Column: "nope", N: 2}); err == nil {
+		t.Error("unknown column did not fail")
+	}
+	if _, err := Partition(tbl, Layout{Strategy: Strategy(99), Column: "k", N: 2}); err == nil {
+		t.Error("unknown strategy did not fail")
+	}
+}
+
+func TestRangePruning(t *testing.T) {
+	tbl := intTable(t, 8000, 3)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 8})
+
+	// A narrow range on the layout column hits few shards.
+	narrow := []engine.Range{{Col: "k", Lo: 500, Hi: 520}}
+	active := s.activeShards(narrow)
+	if len(active) == 0 || len(active) > 2 {
+		t.Errorf("narrow range active shards = %v, want 1-2 of 8", active)
+	}
+	if s.PrunedCount() == 0 {
+		t.Error("pruned counter did not move")
+	}
+
+	// A range on another column prunes nothing.
+	if got := s.activeShards([]engine.Range{{Col: "c", Lo: 0, Hi: 10}}); len(got) != 8 {
+		t.Errorf("off-column range pruned to %v", got)
+	}
+
+	// Hash layouts never prune.
+	hs := mustPartition(t, tbl, Layout{Strategy: ByHash, Column: "k", N: 8})
+	if got := hs.activeShards(narrow); len(got) != 8 {
+		t.Errorf("hash layout pruned to %v", got)
+	}
+	if hs.PrunedCount() != 0 {
+		t.Error("hash layout counted prunes")
+	}
+
+	// Pruned shards cannot change the answer: the pruned result must be
+	// bit-identical to the unsharded scan.
+	q := engine.Query{Func: engine.Sum, Col: "v", Ranges: narrow}
+	want, err := tbl.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Execute(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.ExactEqual(got.Value, want.Value) {
+		t.Errorf("pruned scan = %v, unsharded = %v", got.Value, want.Value)
+	}
+}
+
+// TestExactEquivalenceRandomized pins sharded exact answers bit-identical
+// (stats.ExactEqual) to the unsharded scan across random queries, shard
+// counts, strategies and fan-outs. The measure is integer-valued, so
+// every aggregate's moments are exact under any summation order.
+func TestExactEquivalenceRandomized(t *testing.T) {
+	tbl := intTable(t, 12000, 4)
+	r := stats.NewRNG(99)
+	funcs := []engine.AggFunc{engine.Sum, engine.Count, engine.Avg, engine.Var, engine.Min, engine.Max}
+
+	randQuery := func() engine.Query {
+		q := engine.Query{Func: funcs[r.Intn(len(funcs))], Col: "v"}
+		for _, col := range []string{"k", "c"} {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			max := 1000.0
+			if col == "c" {
+				max = 50
+			}
+			lo := float64(r.Intn(int(max)))
+			hi := lo + float64(r.Intn(int(max/4))+1)
+			q.Ranges = append(q.Ranges, engine.Range{Col: col, Lo: lo, Hi: hi})
+		}
+		if r.Intn(3) == 0 {
+			q.GroupBy = []string{"g"}
+		}
+		return q
+	}
+
+	layouts := []Layout{
+		{Strategy: ByRange, Column: "k", N: 1},
+		{Strategy: ByRange, Column: "k", N: 3},
+		{Strategy: ByRange, Column: "k", N: 8},
+		{Strategy: ByHash, Column: "k", N: 5},
+	}
+	sharded := make([]*Sharded, len(layouts))
+	for i, layout := range layouts {
+		sharded[i] = mustPartition(t, tbl, layout)
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		q := randQuery()
+		want, err := tbl.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sharded group order is sorted by key; sort the oracle's
+		// first-seen order the same way.
+		wantGroups := append([]engine.GroupRow(nil), want.Groups...)
+		sort.Slice(wantGroups, func(i, j int) bool { return wantGroups[i].Key < wantGroups[j].Key })
+
+		for i, s := range sharded {
+			workers := 1 + trial%4
+			got, err := s.Execute(q, workers)
+			if err != nil {
+				t.Fatalf("%v / %v: %v", layouts[i], q, err)
+			}
+			if len(q.GroupBy) == 0 {
+				if !stats.ExactEqual(got.Value, want.Value) {
+					t.Errorf("%v / %v: sharded %v != unsharded %v", layouts[i], q, got.Value, want.Value)
+				}
+				continue
+			}
+			if len(got.Groups) != len(wantGroups) {
+				t.Fatalf("%v / %v: %d groups, want %d", layouts[i], q, len(got.Groups), len(wantGroups))
+			}
+			for j, gr := range got.Groups {
+				w := wantGroups[j]
+				if gr.Key != w.Key || !stats.ExactEqual(gr.Value, w.Value) || gr.Rows != w.Rows {
+					t.Errorf("%v / %v: group %d = %+v, want %+v", layouts[i], q, j, gr, w)
+				}
+			}
+		}
+	}
+}
+
+// TestExactEquivalenceFloat covers a continuous measure, where sharded
+// sums reassociate: equality holds to relative 1e-12, not bit-for-bit.
+func TestExactEquivalenceFloat(t *testing.T) {
+	tbl := floatTable(t, 10000, 5)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 4})
+	for _, q := range []engine.Query{
+		{Func: engine.Sum, Col: "v"},
+		{Func: engine.Avg, Col: "v", Ranges: []engine.Range{{Col: "k", Lo: 100, Hi: 800}}},
+		{Func: engine.Var, Col: "v"},
+	} {
+		want, err := tbl.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Execute(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.ApproxEqual(got.Value, want.Value, 1e-12) {
+			t.Errorf("%v: sharded %v vs unsharded %v", q, got.Value, want.Value)
+		}
+	}
+	// MIN/MAX stay bit-exact even for floats (folding, not summing).
+	for _, f := range []engine.AggFunc{engine.Min, engine.Max} {
+		q := engine.Query{Func: f, Col: "v"}
+		want, _ := tbl.Execute(q)
+		got, err := s.Execute(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.ExactEqual(got.Value, want.Value) {
+			t.Errorf("%v: sharded %v != unsharded %v", q, got.Value, want.Value)
+		}
+	}
+}
+
+func TestExecuteValidates(t *testing.T) {
+	tbl := intTable(t, 1000, 6)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 4})
+	// Unknown columns fail even when the ranges would prune every shard.
+	q := engine.Query{Func: engine.Sum, Col: "nope",
+		Ranges: []engine.Range{{Col: "k", Lo: -100, Hi: -50}}}
+	if _, err := s.Execute(q, 1); err == nil {
+		t.Error("unknown measure column did not fail")
+	}
+	q = engine.Query{Func: engine.Sum, Col: "v",
+		Ranges: []engine.Range{{Col: "nope", Lo: 0, Hi: 1}}}
+	if _, err := s.Execute(q, 1); err == nil {
+		t.Error("unknown range column did not fail")
+	}
+	q = engine.Query{Func: engine.Sum, Col: "v", GroupBy: []string{"nope"}}
+	if _, err := s.Execute(q, 1); err == nil {
+		t.Error("unknown group column did not fail")
+	}
+}
+
+func TestExecuteContextCancel(t *testing.T) {
+	tbl := intTable(t, 20000, 7)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.ExecuteContext(ctx, engine.Query{Func: engine.Sum, Col: "v"}, 2)
+	if err == nil {
+		t.Fatal("canceled context did not fail")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	tbl := intTable(t, 4000, 8)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 4})
+	q := engine.Query{Func: engine.Sum, Col: "v",
+		Ranges: []engine.Range{{Col: "k", Lo: 0, Hi: 100}}}
+	if _, err := s.Execute(q, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Table != "t" || snap.Strategy != "range" || snap.Column != "k" {
+		t.Errorf("snapshot header = %+v", snap)
+	}
+	if len(snap.Shards) != 4 {
+		t.Fatalf("%d shard infos, want 4", len(snap.Shards))
+	}
+	if snap.Pruned == 0 {
+		t.Error("selective query pruned nothing")
+	}
+	var scans uint64
+	for _, sh := range snap.Shards {
+		scans += sh.Scans
+		if len(sh.Latency) != latBuckets {
+			t.Errorf("shard %d latency has %d buckets, want %d", sh.Index, len(sh.Latency), latBuckets)
+		}
+	}
+	if scans == 0 {
+		t.Error("no scans recorded")
+	}
+	if int(scans)+int(snap.Pruned) != 4 {
+		t.Errorf("scans %d + pruned %d != shard count 4", scans, snap.Pruned)
+	}
+}
+
+func TestLayoutSignature(t *testing.T) {
+	a := Layout{Strategy: ByRange, Column: "k", N: 4}
+	b := Layout{Strategy: ByHash, Column: "k", N: 4}
+	c := Layout{Strategy: ByRange, Column: "k", N: 8}
+	if a.Signature() == b.Signature() || a.Signature() == c.Signature() {
+		t.Errorf("signatures collide: %q %q %q", a.Signature(), b.Signature(), c.Signature())
+	}
+	if a.Signature() != "range:k:4" {
+		t.Errorf("signature = %q", a.Signature())
+	}
+}
+
+func TestShardNames(t *testing.T) {
+	tbl := intTable(t, 100, 9)
+	s := mustPartition(t, tbl, Layout{Strategy: ByRange, Column: "k", N: 2})
+	for h, sh := range s.Shards {
+		want := fmt.Sprintf("t#%d", h)
+		if sh.Table.Name != want {
+			t.Errorf("shard %d table name %q, want %q", h, sh.Table.Name, want)
+		}
+	}
+}

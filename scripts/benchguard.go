@@ -1,8 +1,9 @@
 // Command benchguard compares `go test -bench` output against the
-// recorded baselines in BENCH_engine.json. It reads the raw benchmark
-// output (a file argument or stdin), takes the per-benchmark median
-// across repeated runs (-count=N), and flags any benchmark whose median
-// ns/op exceeds baseline × tolerance.
+// recorded baselines in BENCH_engine.json (and siblings such as
+// BENCH_shard.json; -baseline takes a comma-separated list). It reads
+// the raw benchmark output (a file argument or stdin), takes the
+// per-benchmark median across repeated runs (-count=N), and flags any
+// benchmark whose median ns/op exceeds baseline × tolerance.
 //
 // By default violations are reported but the exit status stays 0: CI
 // runs on noisy shared runners where a hard perf gate would flake, so
@@ -14,6 +15,7 @@
 //
 //	go test -run '^$' -bench BenchmarkEngine -benchtime 5x -count=5 ./internal/engine | tee bench.txt
 //	go run ./scripts/benchguard.go -baseline BENCH_engine.json bench.txt
+//	go run ./scripts/benchguard.go -baseline BENCH_engine.json,BENCH_shard.json bench.txt
 package main
 
 import (
@@ -45,22 +47,38 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	baselinePath := fs.String("baseline", "BENCH_engine.json", "baseline JSON file")
+	baselinePath := fs.String("baseline", "BENCH_engine.json", "baseline JSON file(s), comma-separated")
 	tolerance := fs.Float64("tolerance", 1.5, "allowed median/baseline ratio before a benchmark is flagged")
 	strict := fs.Bool("strict", false, "exit non-zero on violations (default: report only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(stderr, "benchguard: %v\n", err)
-		return 2
-	}
+	// Baselines from every listed file merge into one table; a name
+	// recorded twice is a config error, not a silent last-wins.
 	var base baselineFile
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
-		return 2
+	for _, path := range strings.Split(*baselinePath, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %v\n", err)
+			return 2
+		}
+		var one baselineFile
+		if err := json.Unmarshal(raw, &one); err != nil {
+			fmt.Fprintf(stderr, "benchguard: parse %s: %v\n", path, err)
+			return 2
+		}
+		for _, b := range one.Benchmarks {
+			if baselineHas(base, b.Name) {
+				fmt.Fprintf(stderr, "benchguard: %s recorded in more than one baseline file\n", b.Name)
+				return 2
+			}
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
 	}
 
 	in := stdin

@@ -91,3 +91,54 @@ func TestRunStrictVsLenient(t *testing.T) {
 		t.Errorf("missing baseline exit = %d, want 2", code)
 	}
 }
+
+// TestMultiBaseline merges comma-separated baseline files into one
+// table and rejects a benchmark recorded in two of them.
+func TestMultiBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseA := filepath.Join(dir, "a.json")
+	baseB := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(baseA, []byte(`{
+		"benchmarks": [{"name": "BenchmarkA", "after_ns_op": 1000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseB, []byte(`{
+		"benchmarks": [{"name": "BenchmarkB", "after_ns_op": 1000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(bench, []byte(
+		"BenchmarkA-4  5  900 ns/op\nBenchmarkB-4  5  10000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	both := baseA + "," + baseB
+	if code := run([]string{"-baseline", both, bench}, nil, &out, &errOut); code != 0 {
+		t.Errorf("merged baselines exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "SLOW"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("merged report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The B-side regression still trips -strict through the merge.
+	out.Reset()
+	if code := run([]string{"-baseline", both, "-strict", bench}, nil, &out, &errOut); code != 1 {
+		t.Errorf("merged strict exit = %d, want 1\n%s", code, out.String())
+	}
+
+	// A name recorded in two files is a config error.
+	dup := filepath.Join(dir, "dup.json")
+	if err := os.WriteFile(dup, []byte(`{
+		"benchmarks": [{"name": "BenchmarkA", "after_ns_op": 2000}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", baseA + "," + dup, bench}, nil, &out, &errOut); code != 2 {
+		t.Errorf("duplicate baseline exit = %d, want 2", code)
+	}
+}

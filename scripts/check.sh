@@ -60,4 +60,11 @@ echo "==> engine bench smoke (benchtime 1x)"
 # recorded baselines live in BENCH_engine.json.
 go test -run '^$' -bench BenchmarkEngine -benchtime 1x ./internal/engine
 
+echo "==> shard bench smoke (benchtime 1x, one sharded config)"
+# One sharded scatter-gather config end to end: partition the 1M-row
+# fixture into 4 range shards, run the straddle-heavy SUM through the
+# coordinator. Catches partition/prune/merge panics; the recorded
+# baselines (all shard counts) live in BENCH_shard.json.
+go test -run '^$' -bench 'BenchmarkShardSumShuffled4$' -benchtime 1x ./internal/shard
+
 echo "==> all checks passed"
