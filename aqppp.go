@@ -54,6 +54,7 @@ import (
 	"aqppp/internal/precompute"
 	"aqppp/internal/sample"
 	"aqppp/internal/shard"
+	"aqppp/internal/store"
 )
 
 // DB is a registry of in-memory tables plus the prepared AQP++ state built
@@ -77,6 +78,9 @@ type DB struct {
 	// shards maps sharded table names to their partitioned form; queries
 	// against such tables run scatter-gather (see RegisterSharded).
 	shards map[string]*shard.Sharded
+	// stores maps table names to the open store container serving them
+	// (see OpenStore); Drop closes and forgets the entry.
+	stores map[string]*store.Store
 	ex     *exec.Executor
 	budget exec.Budget
 }
@@ -95,6 +99,7 @@ func NewDB() *DB {
 		preps:  make(map[string][]*prepState),
 		gens:   make(map[string]uint64),
 		shards: make(map[string]*shard.Sharded),
+		stores: make(map[string]*store.Store),
 		ex:     exec.New(),
 	}
 }
@@ -147,6 +152,13 @@ func (db *DB) Drop(name string) {
 		delete(db.tables, name)
 		delete(db.shards, name)
 		db.gens[name]++
+	}
+	if s, ok := db.stores[name]; ok {
+		// The store only served the dropped table; release its mapping.
+		// In-flight scans fail with the store's closed error, the same
+		// outcome as racing any Drop.
+		_ = s.Close()
+		delete(db.stores, name)
 	}
 	for _, st := range db.preps[name] {
 		st.dropped.Store(true)
@@ -218,6 +230,12 @@ func (db *DB) LoadCSVContext(ctx context.Context, name string, r io.Reader) (*en
 }
 
 // LoadBinary reads a table in the engine's binary format and registers it.
+//
+// The AQPT stream it reads is the legacy format: the whole table is
+// materialized in memory and nothing prepared survives a restart.
+// Prefer store containers (SaveStore/OpenStore), which load lazily and
+// carry samples and cubes; convert old files once with
+// `aqppp-gen -convert old.bin new.aqps`.
 func (db *DB) LoadBinary(r io.Reader) (*engine.Table, error) {
 	return db.LoadBinaryContext(context.Background(), r)
 }

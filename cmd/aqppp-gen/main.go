@@ -1,13 +1,20 @@
 // Command aqppp-gen generates the benchmark datasets and writes them as
-// the engine's binary table format or as CSV.
+// a store container, the engine's legacy binary format, or CSV. It also
+// converts legacy binary tables into store containers.
 //
 // Usage:
 //
-//	aqppp-gen -dataset tpcd -rows 1000000 -out lineitem.tbl
+//	aqppp-gen -dataset tpcd -rows 1000000 -format store -out lineitem.aqps
 //	aqppp-gen -dataset tlctrip -rows 500000 -format csv -out trips.csv
+//	aqppp-gen -convert lineitem.tbl lineitem.aqps
 //
 // Datasets: tpcd (TPCD-Skew lineitem), bigbench (UserVisits), tlctrip
 // (NYC yellow-taxi style).
+//
+// The "binary" format (AQPT row-batch stream) is legacy: it has no
+// checksums, no block index, and must be fully materialized to load.
+// New files should use "store" (.aqps), which aqppp-serve -data maps
+// lazily; -convert migrates old files once.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"aqppp/internal/dataset"
 	"aqppp/internal/engine"
+	"aqppp/internal/store"
 )
 
 func main() {
@@ -24,9 +32,14 @@ func main() {
 	rows := flag.Int("rows", 100000, "rows to generate")
 	seed := flag.Uint64("seed", 42, "random seed")
 	zipf := flag.Float64("zipf", 2, "TPCD-Skew z parameter")
-	format := flag.String("format", "binary", "binary | csv")
-	out := flag.String("out", "", "output path (default stdout)")
+	format := flag.String("format", "binary", "store | binary (legacy) | csv")
+	out := flag.String("out", "", "output path (default stdout; store format requires a path)")
+	convert := flag.Bool("convert", false, "convert a legacy binary table to a store container: aqppp-gen -convert <in.tbl> <out.aqps>")
 	flag.Parse()
+
+	if *convert {
+		os.Exit(runConvert(flag.Args()))
+	}
 
 	var tbl *engine.Table
 	switch *name {
@@ -39,6 +52,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *name)
 		os.Exit(2)
+	}
+
+	if *format == "store" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "-format store writes a seekable container; give it a path with -out")
+			os.Exit(2)
+		}
+		if err := store.Write(*out, tbl, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report(tbl)
+		return
 	}
 
 	w := os.Stdout
@@ -70,6 +96,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	report(tbl)
+}
+
+// runConvert reads a legacy AQPT binary table and rewrites it as a store
+// container — the one-shot migration off the deprecated format.
+func runConvert(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: aqppp-gen -convert <in.tbl> <out.aqps>")
+		return 2
+	}
+	in, outPath := args[0], args[1]
+	f, err := os.Open(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	tbl, err := engine.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "read legacy table %s: %v\n", in, err)
+		return 1
+	}
+	if err := store.Write(outPath, tbl, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "converted %s -> %s (%d rows, %d columns)\n",
+		in, outPath, tbl.NumRows(), tbl.NumCols())
+	return 0
+}
+
+func report(tbl *engine.Table) {
 	fmt.Fprintf(os.Stderr, "wrote %s: %d rows, %d columns, ~%d bytes of column data\n",
 		tbl.Name, tbl.NumRows(), tbl.NumCols(), tbl.SizeBytes())
 }

@@ -10,10 +10,16 @@
 //
 //	aqppp-serve -demo tpcd -rows 200000 -agg l_extendedprice -dims l_orderkey,l_suppkey
 //	aqppp-serve -load lineitem.tbl -addr :8080
+//	aqppp-serve -data lineitem.aqps
 //
 // With -agg and -dims the server pre-builds one prepared handle (named
 // by -prepare, default "default") before accepting traffic; otherwise
-// handles are built on demand through POST /v1/prepare.
+// handles are built on demand through POST /v1/prepare. Add -save to
+// persist the table and startup handle as a store container once the
+// build finishes; a later -data run (pointing at that file, or at a
+// directory of .aqps files) restores tables and handles at startup
+// without rebuilding anything — data blocks fault in lazily as queries
+// touch them.
 //
 // SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503,
 // in-flight queries finish within -drain-timeout, stragglers are
@@ -27,6 +33,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +53,8 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	load := flag.String("load", "", "binary table file to load (from aqppp-gen)")
 	csvPath := flag.String("csv", "", "CSV table file to load")
+	data := flag.String("data", "", "store container (.aqps file or directory of them) to serve from disk, with persisted prepared handles")
+	save := flag.String("save", "", "persist the table and startup handle to this store container after preparing")
 	demo := flag.String("demo", "", "generate a demo dataset: tpcd | bigbench | tlctrip")
 	rows := flag.Int("rows", 200000, "rows for -demo")
 	seed := flag.Uint64("seed", 42, "random seed")
@@ -71,13 +81,50 @@ func run() int {
 	shardCol := flag.String("shard-col", "", "clustering column for -shards (default: first of -dims)")
 	flag.Parse()
 
-	tbl, err := loadTable(*load, *csvPath, *demo, *rows, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
 	db := aqppp.NewDB()
-	if *shards > 1 {
+	defer db.CloseStores()
+
+	var tbl *engine.Table
+	var storedPreps []aqppp.NamedPrep
+	if *data != "" {
+		if *load != "" || *csvPath != "" || *demo != "" {
+			fmt.Fprintln(os.Stderr, "-data replaces -load/-csv/-demo; pick one source")
+			return 1
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-shards does not apply to store-served tables")
+			return 1
+		}
+		paths, err := storePaths(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, p := range paths {
+			t0 := time.Now()
+			preps, err := db.OpenStore(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "open %s: %v\n", p, err)
+				return 1
+			}
+			storedPreps = append(storedPreps, preps...)
+			fmt.Fprintf(os.Stderr, "opened %s: %d prepared handle(s) in %v (no rebuild)\n",
+				p, len(preps), time.Since(t0).Round(time.Millisecond))
+		}
+		if names := db.TableNames(); len(names) == 1 {
+			tbl, _ = db.LookupTable(names[0])
+		}
+	} else {
+		var err error
+		tbl, err = loadTable(*load, *csvPath, *demo, *rows, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *data != "" {
+		// Tables and handles came from the store; nothing to register here.
+	} else if *shards > 1 {
 		col := *shardCol
 		if col == "" && *dims != "" {
 			col = strings.Split(*dims, ",")[0]
@@ -114,7 +161,20 @@ func run() int {
 	}
 	srv := server.New(db, cfg)
 
+	for _, np := range storedPreps {
+		if err := srv.RegisterPrepared(np.Name, np.Prep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "handle %q restored from store\n", np.Name)
+	}
+
+	var startupPrep *aqppp.Prepared
 	if *agg != "" && *dims != "" {
+		if tbl == nil {
+			fmt.Fprintln(os.Stderr, "-agg/-dims need a single table; the -data directory holds several")
+			return 1
+		}
 		fmt.Fprintf(os.Stderr, "preparing handle %q for [%s; %s] (rate %.3g, k %d)...\n",
 			*handle, *agg, *dims, *rate, *k)
 		t0 := time.Now()
@@ -132,7 +192,29 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		startupPrep = prep
 		fmt.Fprintf(os.Stderr, "handle %q ready in %v\n", *handle, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *save != "" {
+		if *data != "" {
+			fmt.Fprintln(os.Stderr, "-save needs a resident table; -data tables are already persisted")
+			return 1
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "-save does not support sharded tables")
+			return 1
+		}
+		t0 := time.Now()
+		var named []aqppp.NamedPrep
+		if startupPrep != nil {
+			named = append(named, aqppp.NamedPrep{Name: *handle, Prep: startupPrep})
+		}
+		if err := db.SaveStore(*save, tbl.Name, named...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "saved store %s in %v\n", *save, time.Since(t0).Round(time.Millisecond))
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -170,6 +252,27 @@ func run() int {
 	}
 	fmt.Fprintln(os.Stderr, "drained cleanly")
 	return 0
+}
+
+// storePaths resolves -data: a .aqps file is served as is; a directory
+// serves every *.aqps inside it, in name order.
+func storePaths(data string) ([]string, error) {
+	fi, err := os.Stat(data)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return []string{data}, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(data, "*.aqps"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no .aqps store containers in %s", data)
+	}
+	sort.Strings(matches)
+	return matches, nil
 }
 
 func loadTable(load, csvPath, demo string, rows int, seed uint64) (*engine.Table, error) {

@@ -267,3 +267,213 @@ func TestServeBinarySmoke(t *testing.T) {
 	}
 	fmt.Fprintln(os.Stderr, "smoke: burst outcome", counts, "quota sheds", quotaSheds)
 }
+
+// syncBuffer is a bytes.Buffer safe for the write-from-copier /
+// read-from-test pattern in the restart smoke.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeStoreRestartSmoke is the persistence leg of the binary smoke:
+// a first server builds a handle and -saves the store container, a second
+// server restarts from -data alone, and the answers must line up — the
+// exact SUM bit-identically, and the approx point estimate bit-identically
+// too, because the estimate is pre(D) + (q̂(S) − prê(S)) over the persisted
+// sample and cube (only the bootstrap CI is randomized). The restart must
+// be a metadata load: no rebuild, and store cache metrics visible.
+func TestServeStoreRestartSmoke(t *testing.T) {
+	if os.Getenv("AQPPP_SERVER_SMOKE") == "" {
+		t.Skip("set AQPPP_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "aqppp-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storePath := filepath.Join(dir, "lineitem.aqps")
+
+	// start launches the binary with args, waits for the address line on
+	// stdout, and returns the process + base URL + captured stderr. The
+	// buffer is locked because exec's pipe copier writes it from its own
+	// goroutine while the test reads.
+	start := func(args ...string) (*exec.Cmd, string, *syncBuffer) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		errBuf := &syncBuffer{}
+		cmd.Stderr = io.MultiWriter(os.Stderr, errBuf)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		got := make(chan string, 1)
+		go func() {
+			lines := bufio.NewScanner(stdout)
+			for lines.Scan() {
+				if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+					got <- rest
+					return
+				}
+			}
+			got <- ""
+		}()
+		var addr string
+		select {
+		case addr = <-got:
+		case <-time.After(60 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatal("server never announced its address")
+		}
+		if addr == "" {
+			_ = cmd.Process.Kill()
+			t.Fatalf("no listening line; stderr:\n%s", errBuf.String())
+		}
+		return cmd, "http://" + addr, errBuf
+	}
+	stop := func(cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("drain exit: %v (want status 0)", err)
+			}
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Fatal("server did not exit after SIGTERM")
+		}
+	}
+	post := func(base, path string, body any) (int, map[string]any) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	type queryReq struct {
+		SQL      string `json:"sql,omitempty"`
+		Prepared string `json:"prepared,omitempty"`
+	}
+	exactStmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000"
+
+	// Leg 1: build, answer, save, drain.
+	cmd1, base1, _ := start(
+		"-demo", "tpcd", "-rows", "5000", "-seed", "9",
+		"-addr", "127.0.0.1:0",
+		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
+		"-sample-rate", "0.2", "-k", "500",
+		"-save", storePath,
+		"-drain-timeout", "10s", "-quiet",
+	)
+	code, body := post(base1, "/v1/query", queryReq{SQL: exactStmt})
+	if code != http.StatusOK {
+		t.Fatalf("exact query = %d (%v)", code, body)
+	}
+	exactBefore, ok := body["value"].(float64)
+	if !ok {
+		t.Fatalf("exact body missing value: %v", body)
+	}
+	code, body = post(base1, "/v1/approx", queryReq{Prepared: "default", SQL: exactStmt})
+	if code != http.StatusOK {
+		t.Fatalf("approx query = %d (%v)", code, body)
+	}
+	approxBefore, ok := body["value"].(float64)
+	if !ok {
+		t.Fatalf("approx body missing value: %v", body)
+	}
+	stop(cmd1)
+	if _, err := os.Stat(storePath); err != nil {
+		t.Fatalf("store container not written: %v", err)
+	}
+
+	// Leg 2: restart from the container alone. The stderr log must show
+	// the handle restored (not rebuilt), and both answers must match.
+	cmd2, base2, errBuf := start(
+		"-data", storePath, "-addr", "127.0.0.1:0",
+		"-drain-timeout", "10s", "-quiet",
+	)
+	defer func() {
+		if cmd2.Process != nil {
+			_ = cmd2.Process.Kill()
+		}
+	}()
+	code, body = post(base2, "/v1/query", queryReq{SQL: exactStmt})
+	if code != http.StatusOK {
+		t.Fatalf("restarted exact query = %d (%v)", code, body)
+	}
+	if got := body["value"].(float64); got != exactBefore {
+		t.Errorf("exact answer drifted across restart: %v != %v", got, exactBefore)
+	}
+	code, body = post(base2, "/v1/approx", queryReq{Prepared: "default", SQL: exactStmt})
+	if code != http.StatusOK {
+		t.Fatalf("restarted approx query = %d (%v)", code, body)
+	}
+	if got := body["value"].(float64); got != approxBefore {
+		t.Errorf("approx estimate drifted across restart: %v != %v", got, approxBefore)
+	}
+	if hw, ok := body["half_width"].(float64); !ok || !(hw > 0) {
+		t.Errorf("restarted approx missing positive half_width: %v", body["half_width"])
+	}
+
+	// The restart log proves no rebuild happened and the handle survived.
+	logs := errBuf.String()
+	if !strings.Contains(logs, "no rebuild") {
+		t.Errorf("restart log missing open-store line:\n%s", logs)
+	}
+	if !strings.Contains(logs, `handle "default" restored from store`) {
+		t.Errorf("restart log missing restored-handle line:\n%s", logs)
+	}
+	if strings.Contains(logs, "preparing handle") {
+		t.Errorf("restart rebuilt a handle it should have restored:\n%s", logs)
+	}
+
+	// Store metrics are exposed once a store-backed table is serving.
+	mresp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	_ = mresp.Body.Close()
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d err %v", mresp.StatusCode, err)
+	}
+	for _, series := range []string{
+		"aqppp_store_cache_hits_total", "aqppp_store_cache_misses_total",
+		"aqppp_store_cache_resident_bytes", "aqppp_store_file_bytes",
+	} {
+		if !strings.Contains(string(mdata), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	stop(cmd2)
+}

@@ -41,15 +41,22 @@ func BuildMinMax(tbl *engine.Table, aggCol, dimCol string) (*MinMaxIndex, error)
 		return nil, err
 	}
 	n := len(idx)
-	m := &MinMaxIndex{
-		Dim: dimCol, Agg: aggCol,
-		ords: make([]float64, n),
-		vals: make([]float64, n),
-	}
+	ords := make([]float64, n)
+	vals := make([]float64, n)
 	for i, row := range idx {
-		m.ords[i] = dcol.Ordinal(row)
-		m.vals[i] = acol.Float(row)
+		ords[i] = dcol.Ordinal(row)
+		vals[i] = acol.Float(row)
 	}
+	return newMinMaxFrom(dimCol, aggCol, ords, vals), nil
+}
+
+// newMinMaxFrom assembles an index from already-sorted (ordinal, value)
+// pairs, rebuilding the sparse-table levels. It is the shared tail of
+// BuildMinMax and the binary reader: the levels are derived data, so the
+// serialized form carries only ords and vals.
+func newMinMaxFrom(dim, agg string, ords, vals []float64) *MinMaxIndex {
+	n := len(vals)
+	m := &MinMaxIndex{Dim: dim, Agg: agg, ords: ords, vals: vals}
 	levels := 1
 	if n > 1 {
 		levels = bits.Len(uint(n)) // floor(log2 n) + 1
@@ -74,7 +81,7 @@ func BuildMinMax(tbl *engine.Table, aggCol, dimCol string) (*MinMaxIndex, error)
 			m.maxs[l][i] = math.Max(m.maxs[l-1][i], m.maxs[l-1][i+half])
 		}
 	}
-	return m, nil
+	return m
 }
 
 // SizeBytes reports the index footprint.

@@ -12,6 +12,9 @@ func (t *Table) AppendRow(vals ...interface{}) error {
 	if len(vals) != len(t.Columns) {
 		return fmt.Errorf("engine: AppendRow got %d values for %d columns", len(vals), len(t.Columns))
 	}
+	if t.Backed() {
+		return fmt.Errorf("engine: table %q is backend-served and immutable", t.Name)
+	}
 	// Validate all values before mutating anything so a failed append
 	// leaves the table consistent.
 	for i, c := range t.Columns {

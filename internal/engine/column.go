@@ -57,6 +57,12 @@ type Column struct {
 
 	dictIndex map[string]int32
 
+	// src, when non-nil, serves the column's rows block-at-a-time from a
+	// Backend (see backend.go) and the data slices above stay empty;
+	// srcRows is then the row count. Source-backed columns are immutable.
+	src     ColumnSource
+	srcRows int
+
 	// The rank table (code → lexicographic rank) and zone map (per-block
 	// min/max) are derived caches, built lazily on first use and rebuilt
 	// after appends. Both are published through atomic pointers with
@@ -98,6 +104,9 @@ func NewStringColumn(name string, vals []string) *Column {
 
 // Len returns the number of rows in the column.
 func (c *Column) Len() int {
+	if c.src != nil {
+		return c.srcRows
+	}
 	switch c.Type {
 	case Int64:
 		return len(c.Ints)
@@ -169,11 +178,11 @@ func (c *Column) warmOrdinals() {
 func (c *Column) Ordinal(row int) float64 {
 	switch c.Type {
 	case Int64:
-		return float64(c.Ints[row])
+		return float64(c.intAt(row))
 	case Float64:
-		return c.Floats[row]
+		return c.floatAt(row)
 	default:
-		return float64(c.ranks()[c.Codes[row]])
+		return float64(c.ranks()[c.codeAt(row)])
 	}
 }
 
@@ -186,11 +195,11 @@ func (c *Column) Float(row int) float64 { return c.Ordinal(row) }
 func (c *Column) StringAt(row int) string {
 	switch c.Type {
 	case Int64:
-		return fmt.Sprintf("%d", c.Ints[row])
+		return fmt.Sprintf("%d", c.intAt(row))
 	case Float64:
-		return fmt.Sprintf("%g", c.Floats[row])
+		return fmt.Sprintf("%g", c.floatAt(row))
 	default:
-		return c.Dict[c.Codes[row]]
+		return c.Dict[c.codeAt(row)]
 	}
 }
 
@@ -203,6 +212,23 @@ func (c *Column) OrdinalDomain() (float64, float64) {
 	}
 	if c.Type == String {
 		return 0, float64(len(c.Dict) - 1)
+	}
+	if c.src != nil {
+		// Source-backed columns answer from the persisted per-block zone
+		// summaries — exact per-block min/max of the same ordinals the
+		// resident scan below would visit — so plan-time domain queries
+		// (SQL unbounded range sides) fault no block data.
+		mins, maxs := c.src.BlockZones()
+		lo, hi := mins[0], maxs[0]
+		for b := 1; b < len(mins); b++ {
+			if mins[b] < lo {
+				lo = mins[b]
+			}
+			if maxs[b] > hi {
+				hi = maxs[b]
+			}
+		}
+		return lo, hi
 	}
 	lo, hi := c.Ordinal(0), c.Ordinal(0)
 	for i := 1; i < n; i++ {
@@ -225,18 +251,18 @@ func (c *Column) Gather(idx []int) *Column {
 	case Int64:
 		out.Ints = make([]int64, len(idx))
 		for i, r := range idx {
-			out.Ints[i] = c.Ints[r]
+			out.Ints[i] = c.intAt(r)
 		}
 	case Float64:
 		out.Floats = make([]float64, len(idx))
 		for i, r := range idx {
-			out.Floats[i] = c.Floats[r]
+			out.Floats[i] = c.floatAt(r)
 		}
 	default:
 		out.Dict = c.Dict
 		out.Codes = make([]int32, len(idx))
 		for i, r := range idx {
-			out.Codes[i] = c.Codes[r]
+			out.Codes[i] = c.codeAt(r)
 		}
 	}
 	return out
@@ -249,10 +275,10 @@ func (c *Column) AppendFrom(src *Column, r int) {
 	}
 	switch c.Type {
 	case Int64:
-		c.Ints = append(c.Ints, src.Ints[r])
+		c.Ints = append(c.Ints, src.intAt(r))
 	case Float64:
-		c.Floats = append(c.Floats, src.Floats[r])
+		c.Floats = append(c.Floats, src.floatAt(r))
 	default:
-		c.appendString(src.Dict[src.Codes[r]])
+		c.appendString(src.Dict[src.codeAt(r)])
 	}
 }

@@ -25,7 +25,16 @@ const formatVersion = 1
 // WriteBinary serializes the table to w in a compact little-endian binary
 // format (the on-disk layout a column store would use for samples and
 // cubes).
+//
+// Deprecated: the AQPT stream is the legacy row-batch format, kept for
+// samples embedded in store containers and for old files. New table
+// persistence should use the block-structured store format
+// (internal/store, aqppp.SaveStore); convert old files once with
+// `aqppp-gen -convert`.
 func (t *Table) WriteBinary(w io.Writer) error {
+	if t.Backed() {
+		return fmt.Errorf("engine: table %q is backend-served; persist it with the store format", t.Name)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err

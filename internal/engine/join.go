@@ -75,7 +75,7 @@ func HashJoinFK(fact *Table, fkCol string, dim *Table, keyCol string) (*Table, e
 // enforced by truncation — FK columns are surrogate keys in practice).
 func keyAsInt(c *Column, row int) int64 {
 	if c.Type == Int64 {
-		return c.Ints[row]
+		return c.intAt(row)
 	}
-	return int64(c.Floats[row])
+	return int64(c.floatAt(row))
 }

@@ -29,19 +29,20 @@ import (
 // Compare kernels
 // ---------------------------------------------------------------------
 
-// cmpBlock evaluates rlo <= ord(row) <= rhi for rows [lo, hi) and
-// writes the resulting selection words into out: bit 0 of out[0] is row
-// lo, so lo must be a multiple of 64 (zone blocks are). Bits beyond
-// hi-lo stay zero. With and=false the words are stored (out's previous
-// contents are ignored); with and=true they are intersected into out.
-func cmpBlock(c *Column, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
-	switch c.Type {
+// cmpView evaluates rlo <= ord(row) <= rhi for the n rows of one block
+// view and writes the resulting selection words into out: bit 0 of
+// out[0] is the view's row 0 (block-local). Bits beyond n stay zero.
+// With and=false the words are stored (out's previous contents are
+// ignored); with and=true they are intersected into out. ranks is the
+// column's rank table for String columns (nil otherwise).
+func cmpView(typ ColType, v BlockBuf, ranks []int32, rlo, rhi float64, n int, out []uint64, and bool) {
+	switch typ {
 	case Int64:
-		cmpInt64(c.Ints, rlo, rhi, lo, hi, out, and)
+		cmpInt64(v.Ints, rlo, rhi, 0, n, out, and)
 	case Float64:
-		cmpFloat64(c.Floats, rlo, rhi, lo, hi, out, and)
+		cmpFloat64(v.Floats, rlo, rhi, 0, n, out, and)
 	default:
-		cmpCodes(c.Codes, c.ranks(), rlo, rhi, lo, hi, out, and)
+		cmpCodes(v.Codes, ranks, rlo, rhi, 0, n, out, and)
 	}
 }
 
@@ -147,83 +148,82 @@ func familyOf(f AggFunc) aggFamily {
 	}
 }
 
-// accRange folds rows [lo, hi) of c into st — the fused kernel for
-// blocks that passed every range wholesale. Accumulation is in row
+// accView folds the n rows of one block view into st — the fused kernel
+// for blocks that passed every range wholesale. Accumulation is in row
 // order with a single accumulator, so serial results stay bit-identical
-// to a row-at-a-time loop. c may be nil only for famCount.
-func accRange(c *Column, fam aggFamily, lo, hi int, st *aggState) {
-	if lo >= hi {
+// to a row-at-a-time loop. The view may be zero only for famCount, which
+// never touches column data. ranks is the aggregate column's rank table
+// for String columns.
+func accView(typ ColType, v BlockBuf, ranks []int32, fam aggFamily, n int, st *aggState) {
+	if n <= 0 {
 		return
 	}
 	switch fam {
 	case famCount:
-		st.n += int64(hi - lo)
+		st.n += int64(n)
 	case famSum:
 		s := st.sum
-		switch c.Type {
+		switch typ {
 		case Int64:
-			for _, v := range c.Ints[lo:hi] {
-				s += float64(v)
+			for _, x := range v.Ints[:n] {
+				s += float64(x)
 			}
 		case Float64:
-			for _, v := range c.Floats[lo:hi] {
-				s += v
+			for _, x := range v.Floats[:n] {
+				s += x
 			}
 		default:
-			ranks := c.ranks()
-			for _, code := range c.Codes[lo:hi] {
+			for _, code := range v.Codes[:n] {
 				s += float64(ranks[code])
 			}
 		}
 		st.sum = s
-		st.n += int64(hi - lo)
+		st.n += int64(n)
 	case famVar:
 		s, s2 := st.sum, st.sum2
-		switch c.Type {
+		switch typ {
 		case Int64:
-			for _, v := range c.Ints[lo:hi] {
-				x := float64(v)
+			for _, val := range v.Ints[:n] {
+				x := float64(val)
 				s += x
 				s2 += x * x
 			}
 		case Float64:
-			for _, x := range c.Floats[lo:hi] {
+			for _, x := range v.Floats[:n] {
 				s += x
 				s2 += x * x
 			}
 		default:
-			ranks := c.ranks()
-			for _, code := range c.Codes[lo:hi] {
+			for _, code := range v.Codes[:n] {
 				x := float64(ranks[code])
 				s += x
 				s2 += x * x
 			}
 		}
 		st.sum, st.sum2 = s, s2
-		st.n += int64(hi - lo)
+		st.n += int64(n)
 	case famMinMax:
-		switch c.Type {
+		switch typ {
 		case Int64:
-			for _, v := range c.Ints[lo:hi] {
-				st.observe(float64(v))
+			for _, x := range v.Ints[:n] {
+				st.observe(float64(x))
 			}
 		case Float64:
-			for _, x := range c.Floats[lo:hi] {
+			for _, x := range v.Floats[:n] {
 				st.observe(x)
 			}
 		default:
-			ranks := c.ranks()
-			for _, code := range c.Codes[lo:hi] {
+			for _, code := range v.Codes[:n] {
 				st.observe(float64(ranks[code]))
 			}
 		}
 	}
 }
 
-// accWords folds the rows selected by words (bit 0 of words[0] = row
-// base) into st — the kernel for straddling blocks and for aggregating
-// an arbitrary Bitset (call with base 0 and the full word slice).
-func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) {
+// accWordsView folds the view rows selected by words (bit 0 of words[0]
+// = the view's row 0) into st — the kernel for straddling blocks. The
+// view may be zero only for famCount.
+func accWordsView(typ ColType, v BlockBuf, ranks []int32, fam aggFamily, words []uint64, st *aggState) {
 	switch fam {
 	case famCount:
 		n := int64(0)
@@ -234,11 +234,11 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 	case famSum:
 		s := st.sum
 		n := int64(0)
-		switch c.Type {
+		switch typ {
 		case Int64:
-			vals := c.Ints
+			vals := v.Ints
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					s += float64(vals[o+bits.TrailingZeros64(w)])
 					w &= w - 1
@@ -246,9 +246,9 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 				}
 			}
 		case Float64:
-			vals := c.Floats
+			vals := v.Floats
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					s += vals[o+bits.TrailingZeros64(w)]
 					w &= w - 1
@@ -256,9 +256,9 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 				}
 			}
 		default:
-			codes, ranks := c.Codes, c.ranks()
+			codes := v.Codes
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					s += float64(ranks[codes[o+bits.TrailingZeros64(w)]])
 					w &= w - 1
@@ -271,11 +271,11 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 	case famVar:
 		s, s2 := st.sum, st.sum2
 		n := int64(0)
-		switch c.Type {
+		switch typ {
 		case Int64:
-			vals := c.Ints
+			vals := v.Ints
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					x := float64(vals[o+bits.TrailingZeros64(w)])
 					s += x
@@ -285,9 +285,9 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 				}
 			}
 		case Float64:
-			vals := c.Floats
+			vals := v.Floats
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					x := vals[o+bits.TrailingZeros64(w)]
 					s += x
@@ -297,9 +297,9 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 				}
 			}
 		default:
-			codes, ranks := c.Codes, c.ranks()
+			codes := v.Codes
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					x := float64(ranks[codes[o+bits.TrailingZeros64(w)]])
 					s += x
@@ -312,29 +312,29 @@ func accWords(c *Column, fam aggFamily, base int, words []uint64, st *aggState) 
 		st.sum, st.sum2 = s, s2
 		st.n += n
 	case famMinMax:
-		switch c.Type {
+		switch typ {
 		case Int64:
-			vals := c.Ints
+			vals := v.Ints
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					st.observe(float64(vals[o+bits.TrailingZeros64(w)]))
 					w &= w - 1
 				}
 			}
 		case Float64:
-			vals := c.Floats
+			vals := v.Floats
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					st.observe(vals[o+bits.TrailingZeros64(w)])
 					w &= w - 1
 				}
 			}
 		default:
-			codes, ranks := c.Codes, c.ranks()
+			codes := v.Codes
 			for wi, w := range words {
-				o := base + wi<<6
+				o := wi << 6
 				for w != 0 {
 					st.observe(float64(ranks[codes[o+bits.TrailingZeros64(w)]]))
 					w &= w - 1
@@ -372,6 +372,7 @@ type blockExec struct {
 	ranges []Range
 	cols   []*Column
 	zones  []*zoneMap // nil entry: column below the zone threshold
+	ranks  [][]int32  // nil entry: non-string column
 	// stop, when non-nil, is polled once per zone block; a true load
 	// aborts the run early (cancellation). It is armed by watch before
 	// any worker starts, so concurrent runs only ever read it.
@@ -400,6 +401,7 @@ func (t *Table) newBlockExec(ranges []Range) (*blockExec, error) {
 		ranges: ranges,
 		cols:   make([]*Column, len(ranges)),
 		zones:  make([]*zoneMap, len(ranges)),
+		ranks:  make([][]int32, len(ranges)),
 	}
 	for i, r := range ranges {
 		c, err := t.Column(r.Col)
@@ -408,6 +410,9 @@ func (t *Table) newBlockExec(ranges []Range) (*blockExec, error) {
 		}
 		e.cols[i] = c
 		c.warmOrdinals()
+		if c.Type == String {
+			e.ranks[i] = c.ranks()
+		}
 		if c.useZones() {
 			e.zones[i] = c.zonesFor()
 		}
@@ -420,10 +425,17 @@ func (t *Table) newBlockExec(ranges []Range) (*blockExec, error) {
 // which matches, and partial(blo, bhi, words) for blocks with a partial
 // selection (words holds the block-local selection, bit 0 of words[0]
 // being row blo). Blocks the zone maps prove empty are skipped without
-// touching row data.
-func (e *blockExec) run(lo, hi int, full func(blo, bhi int), partial func(blo, bhi int, words []uint64)) {
+// touching row data — for source-backed columns they are never even
+// read from the source. A callback or block-read error aborts the run
+// and is returned; concurrent runs over disjoint row ranges stay safe
+// because the per-run read buffers live on this frame.
+func (e *blockExec) run(lo, hi int, full func(blo, bhi int) error, partial func(blo, bhi int, words []uint64) error) error {
 	var scratch [blockWords]uint64
 	straddle := make([]int, 0, len(e.ranges))
+	var bufs []BlockBuf
+	if len(e.ranges) > 0 {
+		bufs = make([]BlockBuf, len(e.ranges))
+	}
 	// Hoist the stop flag: it is armed (or left nil) before run starts
 	// and never reassigned mid-run, so the per-block poll stays a
 	// register nil-test instead of a field load the callbacks could
@@ -431,7 +443,7 @@ func (e *blockExec) run(lo, hi int, full func(blo, bhi int), partial func(blo, b
 	stop := e.stop
 	for blo := lo; blo < hi; blo += zoneBlockSize {
 		if stop != nil && stop.Load() {
-			return
+			return nil
 		}
 		bhi := blo + zoneBlockSize
 		if bhi > hi {
@@ -457,26 +469,65 @@ func (e *blockExec) run(lo, hi int, full func(blo, bhi int), partial func(blo, b
 			continue
 		}
 		if len(straddle) == 0 {
-			full(blo, bhi)
+			if err := full(blo, bhi); err != nil {
+				return err
+			}
 			continue
 		}
 		sw := scratch[:(bhi-blo+63)/64]
 		for k, i := range straddle {
-			cmpBlock(e.cols[i], e.ranges[i].Lo, e.ranges[i].Hi, blo, bhi, sw, k > 0)
+			c := e.cols[i]
+			v, err := c.view(b, &bufs[i])
+			if err != nil {
+				return err
+			}
+			cmpView(c.Type, v, e.ranks[i], e.ranges[i].Lo, e.ranges[i].Hi, bhi-blo, sw, k > 0)
 		}
-		partial(blo, bhi, sw)
+		if err := partial(blo, bhi, sw); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // scalarOver runs a scalar aggregate over rows [lo, hi) of the
-// executor's table. col may be nil only for famCount.
-func scalarOver(e *blockExec, col *Column, fam aggFamily, lo, hi int) aggState {
+// executor's table. col may be nil only for famCount, which never
+// fetches column data — a COUNT over pruned-or-full blocks reads
+// nothing from a source-backed measure column.
+func scalarOver(e *blockExec, col *Column, fam aggFamily, lo, hi int) (aggState, error) {
 	var st aggState
-	e.run(lo, hi,
-		func(blo, bhi int) { accRange(col, fam, blo, bhi, &st) },
-		func(blo, bhi int, words []uint64) { accWords(col, fam, blo, words, &st) },
+	var buf BlockBuf
+	var ranks []int32
+	if col != nil && col.Type == String {
+		ranks = col.ranks()
+	}
+	err := e.run(lo, hi,
+		func(blo, bhi int) error {
+			if fam == famCount {
+				st.n += int64(bhi - blo)
+				return nil
+			}
+			v, err := col.view(blo/zoneBlockSize, &buf)
+			if err != nil {
+				return err
+			}
+			accView(col.Type, v, ranks, fam, bhi-blo, &st)
+			return nil
+		},
+		func(blo, _ int, words []uint64) error {
+			if fam == famCount {
+				accWordsView(Int64, BlockBuf{}, nil, fam, words, &st)
+				return nil
+			}
+			v, err := col.view(blo/zoneBlockSize, &buf)
+			if err != nil {
+				return err
+			}
+			accWordsView(col.Type, v, ranks, fam, words, &st)
+			return nil
+		},
 	)
-	return st
+	return st, err
 }
 
 // ---------------------------------------------------------------------
@@ -523,25 +574,34 @@ const (
 
 // groupSink accumulates per-group aggregates. One sink per worker; a
 // prototype resolves the mode once and cloneEmpty stamps out workers.
+// The row loops run block-at-a-time: setBlock fetches the aggregate and
+// key columns' views for the current zone block (a subslice for resident
+// columns, a cache read for source-backed ones), and addRow indexes them
+// block-locally.
 type groupSink struct {
 	mode groupMode
 	fun  AggFunc
 
-	// aggregate access, hoisted for the row loops
-	kind      aggKind
-	aggInts   []int64
-	aggFloats []float64
-	aggCodes  []int32
-	aggRanks  []int32
+	// aggregate access; views fetched per block by setBlock
+	kind     aggKind
+	aggCol   *Column // nil for COUNT
+	aggRanks []int32
+	aggView  BlockBuf
+	aggBuf   BlockBuf
 
 	// direct modes
-	keyCodes []int32 // gmCodes
-	dict     []string
-	keyInts  []int64 // gmInts
-	base     int64
-	slots    []groupSlot
-	order    []int32      // first-seen slot indices
-	buf      *sinkBuffers // non-nil on pooled clones; returned by release
+	keyCol  *Column // the single group column (gmCodes / gmInts)
+	keyView BlockBuf
+	keyBuf  BlockBuf
+	dict    []string
+	base    int64
+	slots   []groupSlot
+	order   []int32      // first-seen slot indices
+	buf     *sinkBuffers // non-nil on pooled clones; returned by release
+
+	// blockBase is the global row index of the current views' block
+	// start, set by setBlock.
+	blockBase int
 
 	// map mode
 	cols   []*Column
@@ -559,13 +619,14 @@ func newGroupSink(t *Table, q Query) (*groupSink, error) {
 		if err != nil {
 			return nil, err
 		}
+		g.aggCol = col
 		switch col.Type {
 		case Int64:
-			g.kind, g.aggInts = aggInt, col.Ints
+			g.kind = aggInt
 		case Float64:
-			g.kind, g.aggFloats = aggFloat, col.Floats
+			g.kind = aggFloat
 		default:
-			g.kind, g.aggCodes, g.aggRanks = aggCode, col.Codes, col.ranks()
+			g.kind, g.aggRanks = aggCode, col.ranks()
 		}
 	}
 	g.cols = make([]*Column, len(q.GroupBy))
@@ -581,26 +642,18 @@ func newGroupSink(t *Table, q Query) (*groupSink, error) {
 		switch c := g.cols[0]; c.Type {
 		case String:
 			g.mode = gmCodes
-			g.keyCodes = c.Codes
+			g.keyCol = c
 			g.dict = c.Dict
 			g.slots = make([]groupSlot, len(c.Dict))
 		case Int64:
-			// The domain scan stays in int64: converting through float
+			// The domain bounds stay in int64: converting through float
 			// ordinals would round values beyond 2^53 and corrupt the
-			// slot index base.
-			if len(c.Ints) > 0 {
-				mn, mx := c.Ints[0], c.Ints[0]
-				for _, v := range c.Ints[1:] {
-					if v < mn {
-						mn = v
-					}
-					if v > mx {
-						mx = v
-					}
-				}
+			// slot index base. Source-backed columns answer from their
+			// persisted exact bounds, or decline and fall back to the map.
+			if mn, mx, ok := c.intBounds(); ok {
 				if width := uint64(mx) - uint64(mn); width < maxDirectGroupDomain {
 					g.mode = gmInts
-					g.keyInts = c.Ints
+					g.keyCol = c
 					g.base = mn
 					g.slots = make([]groupSlot, int(width)+1)
 				}
@@ -611,6 +664,28 @@ func newGroupSink(t *Table, q Query) (*groupSink, error) {
 		g.m = make(map[string]*mapSlot)
 	}
 	return g, nil
+}
+
+// setBlock fetches the views for zone block b and records its base row.
+// The full/partial callbacks always stay within one zone block, so one
+// fetch per callback suffices.
+func (g *groupSink) setBlock(b int) error {
+	if g.aggCol != nil {
+		v, err := g.aggCol.view(b, &g.aggBuf)
+		if err != nil {
+			return err
+		}
+		g.aggView = v
+	}
+	if g.keyCol != nil {
+		v, err := g.keyCol.view(b, &g.keyBuf)
+		if err != nil {
+			return err
+		}
+		g.keyView = v
+	}
+	g.blockBase = b * zoneBlockSize
+	return nil
 }
 
 // sinkBuffers is the recyclable part of a direct-mode worker sink: the
@@ -635,6 +710,10 @@ func (g *groupSink) cloneEmpty() *groupSink {
 	c.order = nil
 	c.morder = nil
 	c.buf = nil
+	// Views and decode buffers are per-worker state: sharing them would
+	// race when a source decodes into the buffer.
+	c.aggView, c.aggBuf = BlockBuf{}, BlockBuf{}
+	c.keyView, c.keyBuf = BlockBuf{}, BlockBuf{}
 	if g.slots != nil {
 		b := sinkPool.Get().(*sinkBuffers)
 		if cap(b.slots) < len(g.slots) {
@@ -670,26 +749,29 @@ func (g *groupSink) release() {
 	sinkPool.Put(b)
 }
 
-// value returns the aggregate contribution of row i.
+// value returns the aggregate contribution of global row i, read from
+// the current block's view (setBlock must cover i).
 func (g *groupSink) value(i int) float64 {
 	switch g.kind {
 	case aggInt:
-		return float64(g.aggInts[i])
+		return float64(g.aggView.Ints[i-g.blockBase])
 	case aggFloat:
-		return g.aggFloats[i]
+		return g.aggView.Floats[i-g.blockBase]
 	case aggCode:
-		return float64(g.aggRanks[g.aggCodes[i]])
+		return float64(g.aggRanks[g.aggView.Codes[i-g.blockBase]])
 	default:
 		return 0
 	}
 }
 
-// addRow folds row i into its group.
+// addRow folds global row i into its group; setBlock must cover i. Map
+// mode renders keys through the row accessors (StringAt), which read the
+// source's block cache for backed columns.
 func (g *groupSink) addRow(i int) {
 	var s *aggState
 	switch g.mode {
 	case gmCodes:
-		gi := int(g.keyCodes[i])
+		gi := int(g.keyView.Codes[i-g.blockBase])
 		sl := &g.slots[gi]
 		if !sl.seen {
 			sl.seen = true
@@ -697,7 +779,7 @@ func (g *groupSink) addRow(i int) {
 		}
 		s = &sl.st
 	case gmInts:
-		gi := int(g.keyInts[i] - g.base)
+		gi := int(g.keyView.Ints[i-g.blockBase] - g.base)
 		sl := &g.slots[gi]
 		if !sl.seen {
 			sl.seen = true
@@ -717,15 +799,23 @@ func (g *groupSink) addRow(i int) {
 	s.add(g.value(i))
 }
 
-// addRange folds rows [lo, hi) — the full-block sink.
-func (g *groupSink) addRange(lo, hi int) {
+// addRange folds rows [lo, hi) — the full-block sink. [lo, hi) always
+// lies within one zone block (run calls it per block).
+func (g *groupSink) addRange(lo, hi int) error {
+	if err := g.setBlock(lo / zoneBlockSize); err != nil {
+		return err
+	}
 	for i := lo; i < hi; i++ {
 		g.addRow(i)
 	}
+	return nil
 }
 
 // addWords folds the rows selected by the block-local words.
-func (g *groupSink) addWords(blo, _ int, words []uint64) {
+func (g *groupSink) addWords(blo, _ int, words []uint64) error {
+	if err := g.setBlock(blo / zoneBlockSize); err != nil {
+		return err
+	}
 	for wi, w := range words {
 		o := blo + wi<<6
 		for w != 0 {
@@ -733,6 +823,7 @@ func (g *groupSink) addWords(blo, _ int, words []uint64) {
 			w &= w - 1
 		}
 	}
+	return nil
 }
 
 // mergeFrom folds another sink of the same strategy into g, appending

@@ -69,6 +69,21 @@ func TestBitsetClearAllAndWords(t *testing.T) {
 	b.AndWords(make([]uint64, 1))
 }
 
+// cmpBlock dispatches the typed compare kernels over global rows
+// [lo, hi) of a resident column — the shape the production code now
+// reaches through per-block views (cmpView); the test drives the
+// kernels directly over unaligned windows.
+func cmpBlock(c *Column, rlo, rhi float64, lo, hi int, out []uint64, and bool) {
+	switch c.Type {
+	case Int64:
+		cmpInt64(c.Ints, rlo, rhi, lo, hi, out, and)
+	case Float64:
+		cmpFloat64(c.Floats, rlo, rhi, lo, hi, out, and)
+	default:
+		cmpCodes(c.Codes, c.ranks(), rlo, rhi, lo, hi, out, and)
+	}
+}
+
 // TestCmpBlockMatchesOrdinal cross-checks the type-specialized compare
 // kernels (store and AND variants) against the per-row Ordinal test,
 // over aligned and tail-partial windows.

@@ -58,6 +58,7 @@ func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int
 	}
 	fam := familyOf(q.Func)
 	states := make([]aggState, len(bounds))
+	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
 	for w, bd := range bounds {
 		wg.Add(1)
@@ -66,10 +67,15 @@ func (t *Table) ExecuteParallelContext(ctx context.Context, q Query, workers int
 			// scalarOver accumulates in a local aggState and the result
 			// is published once, so adjacent states entries are not
 			// written per-row from different cores (no false sharing).
-			states[w] = scalarOver(e, col, fam, lo, hi)
+			states[w], errs[w] = scalarOver(e, col, fam, lo, hi)
 		}(w, bd[0], bd[1])
 	}
 	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return Result{}, werr
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -130,18 +136,29 @@ func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, bounds
 		return Result{}, err
 	}
 	sinks := make([]*groupSink, len(bounds))
+	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
 	for w, bd := range bounds {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			g := proto.cloneEmpty()
-			e.run(lo, hi, g.addRange, g.addWords)
+			errs[w] = e.run(lo, hi, g.addRange, g.addWords)
 			sinks[w] = g
 		}(w, bd[0], bd[1])
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	var runErr error
+	for _, werr := range errs {
+		if werr != nil {
+			runErr = werr
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
 		// The scan was abandoned mid-chunk; still recycle the worker
 		// tables before unwinding.
 		for _, g := range sinks {
@@ -149,7 +166,7 @@ func (t *Table) parallelGroup(ctx context.Context, q Query, e *blockExec, bounds
 				g.release()
 			}
 		}
-		return Result{}, err
+		return Result{}, runErr
 	}
 	for _, g := range sinks {
 		if g == nil {

@@ -96,7 +96,10 @@ func (t *Table) ExecutePartialContext(ctx context.Context, q Query) (PartialResu
 				return PartialResult{}, err
 			}
 		}
-		st := scalarOver(e, col, familyOf(q.Func), 0, n)
+		st, err := scalarOver(e, col, familyOf(q.Func), 0, n)
+		if err != nil {
+			return PartialResult{}, err
+		}
 		if err := ctx.Err(); err != nil {
 			return PartialResult{}, err
 		}
@@ -106,7 +109,9 @@ func (t *Table) ExecutePartialContext(ctx context.Context, q Query) (PartialResu
 	if err != nil {
 		return PartialResult{}, err
 	}
-	e.run(0, n, g.addRange, g.addWords)
+	if err := e.run(0, n, g.addRange, g.addWords); err != nil {
+		return PartialResult{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return PartialResult{}, err
 	}

@@ -98,7 +98,9 @@ func (t *Table) Filter(ranges []Range) (*Bitset, error) {
 	if err != nil {
 		return nil, err
 	}
-	applyRangeZoned(c, ranges[0], sel)
+	if err := applyRangeZoned(c, ranges[0], sel); err != nil {
+		return nil, err
+	}
 	var scratch *Bitset
 	for _, r := range ranges[1:] {
 		c, err := t.Column(r.Col)
@@ -110,7 +112,9 @@ func (t *Table) Filter(ranges []Range) (*Bitset, error) {
 		} else {
 			scratch.ClearAll()
 		}
-		applyRangeZoned(c, r, scratch)
+		if err := applyRangeZoned(c, r, scratch); err != nil {
+			return nil, err
+		}
 		sel.And(scratch)
 	}
 	return sel, nil
@@ -158,7 +162,10 @@ func (t *Table) ExecuteContext(ctx context.Context, q Query) (Result, error) {
 				return Result{}, err
 			}
 		}
-		st := scalarOver(e, col, familyOf(q.Func), 0, n)
+		st, err := scalarOver(e, col, familyOf(q.Func), 0, n)
+		if err != nil {
+			return Result{}, err
+		}
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
@@ -169,7 +176,9 @@ func (t *Table) ExecuteContext(ctx context.Context, q Query) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e.run(0, n, g.addRange, g.addWords)
+	if err := e.run(0, n, g.addRange, g.addWords); err != nil {
+		return Result{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}

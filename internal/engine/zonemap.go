@@ -36,6 +36,15 @@ func (c *Column) zonesFor() *zoneMap {
 	if z := c.zoneP.Load(); z != nil && z.rows == n {
 		return z
 	}
+	if c.src != nil {
+		// Source-backed columns never scan: the source persisted exact
+		// per-block summaries, so "building" the zone map is a metadata
+		// copy. Racing stores publish identical content.
+		mins, maxs := c.src.BlockZones()
+		z := &zoneMap{mins: mins, maxs: maxs, rows: n}
+		c.zoneP.Store(z)
+		return z
+	}
 	// The build below reads ordinals, which for string columns consult
 	// the rank table. Build that table first, outside the lock: ranks()
 	// takes lazyMu itself and re-entering would deadlock.
@@ -77,7 +86,9 @@ func (c *Column) zonesFor() *zoneMap {
 
 // useZones reports whether the column is large enough for zone-mapped
 // scans; below the threshold the map overhead outweighs the skipping.
-func (c *Column) useZones() bool { return c.Len() >= 2*zoneBlockSize }
+// Source-backed columns always use zones: their summaries are free
+// (persisted) and pruning saves real I/O, not just compares.
+func (c *Column) useZones() bool { return c.src != nil || c.Len() >= 2*zoneBlockSize }
 
 // blockClass is the zone-map classification of one block against one
 // range: the fused kernels dispatch on it directly.
@@ -109,13 +120,18 @@ func (z *zoneMap) classify(b int, lo, hi float64) blockClass {
 // untouched, full blocks are set with word-level stores, and straddling
 // blocks run the type-specialized compare kernel. out must be all-zero
 // on entry (straddling blocks store whole words rather than OR-ing bits).
-func applyRangeZoned(c *Column, r Range, out *Bitset) {
+func applyRangeZoned(c *Column, r Range, out *Bitset) error {
 	n := c.Len()
 	if !c.useZones() {
 		applyRange(c, r, out)
-		return
+		return nil
 	}
 	z := c.zonesFor()
+	var ranks []int32
+	if c.Type == String {
+		ranks = c.ranks()
+	}
+	var buf BlockBuf
 	for b := range z.mins {
 		lo := b * zoneBlockSize
 		hi := lo + zoneBlockSize
@@ -127,15 +143,30 @@ func applyRangeZoned(c *Column, r Range, out *Bitset) {
 		case blockFull:
 			out.SetRange(lo, hi)
 		default:
-			cmpBlock(c, r.Lo, r.Hi, lo, hi, out.words[lo>>6:], false)
+			v, err := c.view(b, &buf)
+			if err != nil {
+				return err
+			}
+			cmpView(c.Type, v, ranks, r.Lo, r.Hi, hi-lo, out.words[lo>>6:], false)
 		}
 	}
+	return nil
 }
 
 // applyRange tests rows [0, n) with the compare kernel (no zone map).
-// out must be all-zero on entry.
+// out must be all-zero on entry. Only resident columns take this path —
+// source-backed columns always use zones.
 func applyRange(c *Column, r Range, out *Bitset) {
-	if n := c.Len(); n > 0 {
-		cmpBlock(c, r.Lo, r.Hi, 0, n, out.words, false)
+	n := c.Len()
+	if n == 0 {
+		return
+	}
+	switch c.Type {
+	case Int64:
+		cmpInt64(c.Ints, r.Lo, r.Hi, 0, n, out.words, false)
+	case Float64:
+		cmpFloat64(c.Floats, r.Lo, r.Hi, 0, n, out.words, false)
+	default:
+		cmpCodes(c.Codes, c.ranks(), r.Lo, r.Hi, 0, n, out.words, false)
 	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -151,6 +152,10 @@ type loader struct {
 }
 
 // parseDir parses the non-test Go files in dir, in directory order.
+// Build constraints (//go:build lines and _GOOS/_GOARCH suffixes) are
+// evaluated for the host platform, so a package split across platform
+// files (e.g. mmap_unix.go / mmap_other.go) type-checks with exactly
+// one side, the same view `go build` takes.
 func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -160,6 +165,9 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -476,6 +476,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqIn
 		ErrorKinds:     kinds,
 		Endpoints:      eps,
 		Shards:         s.db.ShardSnapshots(),
+		Stores:         s.db.StoreSnapshots(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -222,6 +222,33 @@ func (s *Server) renderMetrics() []byte {
 			}
 		}
 	}
+
+	// Disk-backed stores: block-cache counters and resident bytes per
+	// table. A miss is one disk read + decode; blocks the zone maps
+	// prune appear in neither counter.
+	stores := s.db.StoreSnapshots()
+	if len(stores) > 0 {
+		promHead(&b, "aqppp_store_cache_hits_total", "counter", "Store block-cache hits by table.")
+		for _, sn := range stores {
+			fmt.Fprintf(&b, "aqppp_store_cache_hits_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Cache.Hits)
+		}
+		promHead(&b, "aqppp_store_cache_misses_total", "counter", "Store block-cache misses (each one disk read + decode) by table.")
+		for _, sn := range stores {
+			fmt.Fprintf(&b, "aqppp_store_cache_misses_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Cache.Misses)
+		}
+		promHead(&b, "aqppp_store_cache_evictions_total", "counter", "Store block-cache evictions by table.")
+		for _, sn := range stores {
+			fmt.Fprintf(&b, "aqppp_store_cache_evictions_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Cache.Evictions)
+		}
+		promHead(&b, "aqppp_store_cache_resident_bytes", "gauge", "Decoded blocks resident in the store cache by table.")
+		for _, sn := range stores {
+			fmt.Fprintf(&b, "aqppp_store_cache_resident_bytes{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Cache.ResidentBytes)
+		}
+		promHead(&b, "aqppp_store_file_bytes", "gauge", "Store container size on disk by table.")
+		for _, sn := range stores {
+			fmt.Fprintf(&b, "aqppp_store_file_bytes{table=\"%s\"} %d\n", promEscape(sn.Table), sn.FileBytes)
+		}
+	}
 	return b.Bytes()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"aqppp/internal/shard"
 	"aqppp/internal/stats"
+	"aqppp/internal/store"
 )
 
 // Latency histograms bucket log10(latency in µs) so one fixed-width
@@ -135,6 +136,9 @@ type StatuszResponse struct {
 	// Shards lists each sharded table's layout and per-shard scan
 	// counters (absent when no table is sharded).
 	Shards []shard.Snapshot `json:"shards,omitempty"`
+	// Stores lists each disk-backed table's container and block-cache
+	// counters (absent when no table is store-served).
+	Stores []store.Snapshot `json:"stores,omitempty"`
 }
 
 // snapshot renders the registry for /statusz.

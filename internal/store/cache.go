@@ -1,0 +1,103 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"aqppp/internal/engine"
+)
+
+// cacheEntryOverhead approximates the bookkeeping bytes per cached block
+// (map bucket, list element, headers) so tiny tail blocks still count.
+const cacheEntryOverhead = 128
+
+// CacheStats is a point-in-time snapshot of the block cache counters.
+// Hits and misses count block lookups; a miss implies one disk read and
+// decode, so (pruned) blocks a scan never requests appear in neither.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	CapBytes      int64  `json:"cap_bytes"`
+}
+
+// blockCache is a byte-bounded LRU of decoded blocks shared by all of a
+// store's columns, keyed col<<32|block. Views handed out stay valid
+// after eviction (eviction drops the cache's reference, nothing more),
+// which keeps the engine free to hold a view across other reads.
+type blockCache struct {
+	capBytes int64
+
+	mu       sync.Mutex
+	resident int64
+	byKey    map[uint64]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits, misses, evictions atomic.Uint64
+	residentGauge           atomic.Int64
+}
+
+type cacheEntry struct {
+	key  uint64
+	view engine.BlockBuf
+	size int64
+}
+
+func newBlockCache(capBytes int64) *blockCache {
+	return &blockCache{
+		capBytes: capBytes,
+		byKey:    make(map[uint64]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (c *blockCache) get(key uint64) (engine.BlockBuf, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return engine.BlockBuf{}, false
+	}
+	c.hits.Add(1)
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).view, true
+}
+
+// put inserts a freshly decoded block and returns the view to use: when
+// two goroutines race to decode the same block, the first insert wins
+// and both share its view. The newest entry is never evicted, so a
+// single block larger than the cap still scans correctly.
+func (c *blockCache) put(key uint64, view engine.BlockBuf, size int64) engine.BlockBuf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).view
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, view: view, size: size})
+	c.byKey[key] = el
+	c.resident += size
+	for c.resident > c.capBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, ent.key)
+		c.resident -= ent.size
+		c.evictions.Add(1)
+	}
+	c.residentGauge.Store(c.resident)
+	return view
+}
+
+func (c *blockCache) stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentBytes: c.residentGauge.Load(),
+		CapBytes:      c.capBytes,
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails on platforms without the unix mmap syscalls; the
+// store serves every read through os.File.ReadAt instead. The fallback
+// is exercised on unix too via Options.NoMmap.
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, errors.New("store: mmap unavailable on this platform")
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the whole file read-only. Callers fall back to ReadAt on
+// any error, so "cannot map" is never fatal.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, errors.New("store: file size not mappable")
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/sample"
+)
+
+// Prep is one prepared query handle persisted alongside its table: the
+// sample(s), BP-cubes and min/max indexes that core.Processor needs, so
+// a restart is a metadata load instead of a rebuild. The store layer
+// deliberately stays below internal/core — the root package converts
+// between Prep and core.Processor.
+type Prep struct {
+	Name       string
+	Sample     *sample.Sample
+	Sub        *sample.Sample
+	Cube       *cube.BPCube
+	CubeFull   bool
+	CountCube  *cube.BPCube
+	CountFull  bool
+	MinMax     []*cube.MinMaxIndex
+	Confidence float64
+}
+
+// Embedded streams (samples, cubes, indexes) are length-prefixed even
+// though they self-delimit: their readers buffer, and a prefix lets the
+// decoder hand each one an exact byte slice.
+
+func encodePreps(b *bytes.Buffer, preps []Prep) error {
+	puv(b, uint64(len(preps)))
+	for i := range preps {
+		p := &preps[i]
+		pstr(b, p.Name)
+		pf64(b, p.Confidence)
+		if err := encodeSample(b, p.Sample); err != nil {
+			return fmt.Errorf("store: prep %q sample: %w", p.Name, err)
+		}
+		if err := encodeSample(b, p.Sub); err != nil {
+			return fmt.Errorf("store: prep %q subsample: %w", p.Name, err)
+		}
+		if err := encodeCube(b, p.Cube, p.CubeFull); err != nil {
+			return fmt.Errorf("store: prep %q cube: %w", p.Name, err)
+		}
+		if err := encodeCube(b, p.CountCube, p.CountFull); err != nil {
+			return fmt.Errorf("store: prep %q count cube: %w", p.Name, err)
+		}
+		puv(b, uint64(len(p.MinMax)))
+		for _, m := range p.MinMax {
+			var blob bytes.Buffer
+			if err := m.WriteBinary(&blob); err != nil {
+				return fmt.Errorf("store: prep %q minmax: %w", p.Name, err)
+			}
+			puv(b, uint64(blob.Len()))
+			b.Write(blob.Bytes())
+		}
+	}
+	return nil
+}
+
+func decodePreps(data []byte) ([]Prep, error) {
+	r := &byteReader{data: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, corruptf("%d prepared handles is implausible", n)
+	}
+	preps := make([]Prep, n)
+	for i := range preps {
+		p := &preps[i]
+		if p.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if p.Confidence, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if p.Sample, err = decodeSample(r); err != nil {
+			return nil, fmt.Errorf("store: prep %q sample: %w", p.Name, err)
+		}
+		if p.Sub, err = decodeSample(r); err != nil {
+			return nil, fmt.Errorf("store: prep %q subsample: %w", p.Name, err)
+		}
+		if p.Cube, p.CubeFull, err = decodeCube(r); err != nil {
+			return nil, fmt.Errorf("store: prep %q cube: %w", p.Name, err)
+		}
+		if p.CountCube, p.CountFull, err = decodeCube(r); err != nil {
+			return nil, fmt.Errorf("store: prep %q count cube: %w", p.Name, err)
+		}
+		nm, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nm > 1<<16 {
+			return nil, corruptf("%d minmax indexes is implausible", nm)
+		}
+		p.MinMax = make([]*cube.MinMaxIndex, nm)
+		for j := range p.MinMax {
+			blob, err := lengthPrefixed(r)
+			if err != nil {
+				return nil, err
+			}
+			if p.MinMax[j], err = cube.ReadMinMax(bytes.NewReader(blob)); err != nil {
+				return nil, fmt.Errorf("store: prep %q minmax %d: %w", p.Name, j, err)
+			}
+		}
+	}
+	return preps, nil
+}
+
+// encodeSample writes a nil-able sample: presence byte, then structure
+// fields, then the sample rows as a legacy AQPT table stream (the one
+// place that format remains load-bearing).
+func encodeSample(b *bytes.Buffer, s *sample.Sample) error {
+	if s == nil {
+		b.WriteByte(0)
+		return nil
+	}
+	b.WriteByte(1)
+	var blob bytes.Buffer
+	blob.WriteByte(byte(s.Kind))
+	puv(&blob, uint64(s.SourceRows))
+	puv(&blob, uint64(len(s.InvP)))
+	for _, v := range s.InvP {
+		pf64(&blob, v)
+	}
+	puv(&blob, uint64(len(s.Strata)))
+	for _, st := range s.Strata {
+		pstr(&blob, st.Key)
+		puv(&blob, uint64(st.SourceRows))
+		puv(&blob, uint64(st.SampleRows))
+	}
+	puv(&blob, uint64(len(s.StratumOf)))
+	for _, v := range s.StratumOf {
+		puv(&blob, uint64(v))
+	}
+	if err := s.Table.WriteBinary(&blob); err != nil {
+		return err
+	}
+	puv(b, uint64(blob.Len()))
+	b.Write(blob.Bytes())
+	return nil
+}
+
+func decodeSample(r *byteReader) (*sample.Sample, error) {
+	present, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	blob, err := lengthPrefixed(r)
+	if err != nil {
+		return nil, err
+	}
+	br := &byteReader{data: blob}
+	s := &sample.Sample{}
+	kind, err := br.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	s.Kind = sample.Kind(kind)
+	sr, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.SourceRows = int(sr)
+	ni, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ni > 0 {
+		s.InvP = make([]float64, ni)
+		for i := range s.InvP {
+			if s.InvP[i], err = br.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ns, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ns > 0 {
+		s.Strata = make([]sample.Stratum, ns)
+		for i := range s.Strata {
+			st := &s.Strata[i]
+			if st.Key, err = br.str(); err != nil {
+				return nil, err
+			}
+			v, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			st.SourceRows = int(v)
+			if v, err = br.uvarint(); err != nil {
+				return nil, err
+			}
+			st.SampleRows = int(v)
+		}
+	}
+	no, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if no > 0 {
+		s.StratumOf = make([]int, no)
+		for i := range s.StratumOf {
+			v, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.StratumOf[i] = int(v)
+		}
+	}
+	rest := blob[br.pos:]
+	if s.Table, err = engine.ReadBinary(bytes.NewReader(rest)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeCube writes a nil-able cube plus its Full flag (the cube stream
+// itself does not carry it).
+func encodeCube(b *bytes.Buffer, c *cube.BPCube, full bool) error {
+	if c == nil {
+		b.WriteByte(0)
+		return nil
+	}
+	b.WriteByte(1)
+	var blob bytes.Buffer
+	if full {
+		blob.WriteByte(1)
+	} else {
+		blob.WriteByte(0)
+	}
+	if err := c.WriteBinary(&blob); err != nil {
+		return err
+	}
+	puv(b, uint64(blob.Len()))
+	b.Write(blob.Bytes())
+	return nil
+}
+
+func decodeCube(r *byteReader) (*cube.BPCube, bool, error) {
+	present, err := r.byteVal()
+	if err != nil {
+		return nil, false, err
+	}
+	if present == 0 {
+		return nil, false, nil
+	}
+	blob, err := lengthPrefixed(r)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(blob) < 1 {
+		return nil, false, corruptf("empty cube blob")
+	}
+	full := blob[0] != 0
+	c, err := cube.ReadBinary(bytes.NewReader(blob[1:]))
+	if err != nil {
+		return nil, false, err
+	}
+	c.Full = full
+	return c, full, nil
+}
+
+func lengthPrefixed(r *byteReader) ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, corruptf("blob length %d exceeds %d remaining bytes", n, r.remaining())
+	}
+	return r.bytes(int(n))
+}

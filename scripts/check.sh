@@ -51,7 +51,10 @@ else
     # must stay distinguishable), scrape /metrics, then SIGTERM and
     # require a clean drain (exit 0). Gated behind the env var so
     # `go test ./...` above stays fast; CI runs it on one matrix leg only.
-    AQPPP_SERVER_SMOKE=1 go test -race -count=1 -run TestServeBinarySmoke ./cmd/aqppp-serve
+    # The restart leg saves a store container, restarts from -data alone,
+    # and requires identical answers with no rebuild.
+    AQPPP_SERVER_SMOKE=1 go test -race -count=1 \
+        -run 'TestServeBinarySmoke|TestServeStoreRestartSmoke' ./cmd/aqppp-serve
 fi
 
 echo "==> engine bench smoke (benchtime 1x)"
@@ -59,6 +62,12 @@ echo "==> engine bench smoke (benchtime 1x)"
 # the benchmark fixtures without turning the gate into a perf run. The
 # recorded baselines live in BENCH_engine.json.
 go test -run '^$' -bench BenchmarkEngine -benchtime 1x ./internal/engine
+
+echo "==> store bench smoke (benchtime 1x)"
+# One iteration per store benchmark: write + open + scan the 1M-row
+# container through both the mmap and portable read paths. Catches
+# format/decode-path panics; recorded baselines live in BENCH_store.json.
+go test -run '^$' -bench BenchmarkStore -benchtime 1x ./internal/store
 
 echo "==> shard bench smoke (benchtime 1x, one sharded config)"
 # One sharded scatter-gather config end to end: partition the 1M-row
