@@ -78,6 +78,10 @@ type DB struct {
 	// shards maps sharded table names to their partitioned form; queries
 	// against such tables run scatter-gather (see RegisterSharded).
 	shards map[string]*shard.Sharded
+	// dist maps distributed table names to the coordinator answering for
+	// them; the registered table is then a zero-row schema table and
+	// every plan routes over the network (see RegisterDistributed).
+	dist map[string]exec.Distributed
 	// stores maps table names to the open store container serving them
 	// (see OpenStore); Drop closes and forgets the entry.
 	stores map[string]*store.Store
@@ -99,6 +103,7 @@ func NewDB() *DB {
 		preps:  make(map[string][]*prepState),
 		gens:   make(map[string]uint64),
 		shards: make(map[string]*shard.Sharded),
+		dist:   make(map[string]exec.Distributed),
 		stores: make(map[string]*store.Store),
 		ex:     exec.New(),
 	}
@@ -151,6 +156,7 @@ func (db *DB) Drop(name string) {
 	if _, ok := db.tables[name]; ok {
 		delete(db.tables, name)
 		delete(db.shards, name)
+		delete(db.dist, name)
 		db.gens[name]++
 	}
 	if s, ok := db.stores[name]; ok {
@@ -291,6 +297,9 @@ func (db *DB) PlanExact(statement string) (*exec.Plan, error) {
 	if s, ok := db.lookupSharded(p.Table.Name); ok {
 		p.Shards = s
 	}
+	if d, ok := db.lookupDistributed(p.Table.Name); ok {
+		p.Dist = d
+	}
 	return p, nil
 }
 
@@ -349,6 +358,14 @@ type Prepared struct {
 	stats      core.BuildStats
 	maintainer *core.Maintainer
 	state      *prepState
+
+	// A distributed preparation (see DB.DistPrepared) has proc and shp
+	// nil: queries route to the fleet through dist under distHandle, and
+	// distConf/distSampleRows describe the handle as replicas report it.
+	dist           exec.Distributed
+	distHandle     string
+	distConf       float64
+	distSampleRows int
 }
 
 // Prepare builds the sample and BP-Cube for a template (the offline
@@ -436,6 +453,11 @@ type Result struct {
 	UsedPrecomputed bool
 	// Pre describes the identified aggregate (for diagnostics).
 	Pre string
+	// Partial reports a degraded distributed answer: one or more
+	// replicas were lost and (under the opt-in degraded policy) the
+	// survivors' strata answered with a widened interval. Never set on
+	// resident or in-process sharded queries.
+	Partial bool
 	// Groups holds per-group results for GROUP BY queries; scalar
 	// queries leave it nil.
 	Groups []GroupResult
@@ -477,6 +499,9 @@ func (p *Prepared) PlanQuery(statement string) (*exec.Plan, error) {
 	if err := p.live("query"); err != nil {
 		return nil, err
 	}
+	if p.dist != nil {
+		return exec.PlanDistQueryStatement(p.dist, p.distHandle, p.tbl, statement)
+	}
 	if p.shp != nil {
 		return exec.PlanShardedQueryStatement(p.shp, p.tbl, statement)
 	}
@@ -504,6 +529,10 @@ func (p *Prepared) QueryStructContext(ctx context.Context, q engine.Query) (Resu
 	if err := p.live("query"); err != nil {
 		return Result{}, err
 	}
+	if p.dist != nil {
+		return Result{}, &exec.Error{Kind: exec.Unsupported, Op: "query",
+			Err: errDist("QueryStruct")}
+	}
 	if p.shp != nil {
 		return p.run(ctx, exec.PlanShardedQueryStruct(p.shp, p.tbl, q))
 	}
@@ -524,17 +553,22 @@ func (p *Prepared) runWithBudget(ctx context.Context, plan *exec.Plan, b Budget)
 		return Result{}, err
 	}
 	if len(plan.Query.GroupBy) > 0 {
-		res := Result{Confidence: p.confidence()}
+		res := Result{Confidence: p.confidence(), Partial: out.Partial}
 		for _, g := range out.Groups {
 			res.Groups = append(res.Groups, GroupResult{Key: g.Key, Result: toResult(g.Answer)})
 		}
 		return res, nil
 	}
-	return toResult(out.Answer), nil
+	res := toResult(out.Answer)
+	res.Partial = out.Partial
+	return res, nil
 }
 
 // confidence reports the preparation's CI level, whichever form it took.
 func (p *Prepared) confidence() float64 {
+	if p.dist != nil {
+		return p.distConf
+	}
 	if p.shp != nil {
 		return p.shp.Confidence
 	}
@@ -557,6 +591,11 @@ func toResult(a core.Answer) Result {
 // wall clock since shards build in parallel; the shape is left nil —
 // each shard climbs its own partition points).
 func (p *Prepared) Stats() PreprocessingStats {
+	if p.dist != nil {
+		// The fleet's preprocessing lives on the replicas; only the total
+		// sample size is known here.
+		return PreprocessingStats{SampleRows: p.distSampleRows}
+	}
 	if p.shp != nil {
 		st := PreprocessingStats{SampleRows: p.shp.SampleSize()}
 		for h, bs := range p.shp.BuildStats {
@@ -594,11 +633,14 @@ type PreprocessingStats struct {
 // TableName reports the registered table this preparation answers for.
 func (p *Prepared) TableName() string { return p.tbl.Name }
 
+// Confidence reports the CI level this preparation answers at.
+func (p *Prepared) Confidence() float64 { return p.confidence() }
+
 // Sample exposes the underlying sample (read-only use). Sharded
 // preparations have one sample per shard, not a single one, so this
 // returns nil for them — use ShardedProcessor.
 func (p *Prepared) Sample() *sample.Sample {
-	if p.shp != nil {
+	if p.proc == nil {
 		return nil
 	}
 	return p.proc.Sample
@@ -607,12 +649,7 @@ func (p *Prepared) Sample() *sample.Sample {
 // Processor exposes the underlying AQP++ processor for advanced use
 // (ablations, custom pipelines). Nil for sharded preparations — use
 // ShardedProcessor.
-func (p *Prepared) Processor() *core.Processor {
-	if p.shp != nil {
-		return nil
-	}
-	return p.proc
-}
+func (p *Prepared) Processor() *core.Processor { return p.proc }
 
 // ShardedProcessor exposes the per-shard preparation when this Prepared
 // was built over a sharded table; nil otherwise.

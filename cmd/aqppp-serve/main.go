@@ -21,6 +21,17 @@
 // without rebuilding anything — data blocks fault in lazily as queries
 // touch them.
 //
+// The binary also serves as one process of a distributed fleet. With
+// -replica h/N it loads the table, keeps only shard h of an N-way
+// layout on -shard-col, and serves the fleet-internal GET /v1/shard
+// and POST /v1/partial endpoints alongside the public API. With
+// -coordinator -peers url,url it loads nothing: it dials every
+// replica, assembles the fleet's schema and shared handles, and
+// answers public queries by fanning partials out over the network —
+// bit-identical to an in-process -shards N run over the same data.
+// Replicas given -quota-authority lease per-client quota tokens from
+// the coordinator so the whole fleet drains one logical bucket.
+//
 // SIGTERM or SIGINT starts a graceful drain: /readyz flips to 503,
 // in-flight queries finish within -drain-timeout, stragglers are
 // hard-canceled. Exit status 0 means a clean drain, 1 a forced one.
@@ -41,8 +52,10 @@ import (
 
 	"aqppp"
 	"aqppp/internal/dataset"
+	"aqppp/internal/dist"
 	"aqppp/internal/engine"
 	"aqppp/internal/server"
+	"aqppp/internal/shard"
 )
 
 func main() {
@@ -78,15 +91,39 @@ func run() int {
 	quotaMaxClients := flag.Int("quota-max-clients", 0, "max tracked client buckets (0 = 4096)")
 	quiet := flag.Bool("quiet", false, "suppress the per-request access log")
 	shards := flag.Int("shards", 1, "partition the table into N shards for scatter-gather execution (1 = unsharded)")
-	shardCol := flag.String("shard-col", "", "clustering column for -shards (default: first of -dims)")
+	shardCol := flag.String("shard-col", "", "clustering column for -shards / -replica (default: first of -dims)")
+	replicaSpec := flag.String("replica", "", "serve as shard replica h/N of the table (e.g. 0/2), keeping only that slice")
+	coordinator := flag.Bool("coordinator", false, "serve as fleet coordinator: load nothing, fan queries out over -peers")
+	peers := flag.String("peers", "", "comma-separated replica base URLs for -coordinator (http://host:port,...)")
+	degradedApprox := flag.Bool("degraded-approx", false, "coordinator: answer approximate queries from surviving shards when a replica is lost (partial answers, widened intervals)")
+	quotaAuthority := flag.String("quota-authority", "", "lease per-client quota tokens from this URL's /v1/quota/lease instead of a local bucket")
+	replicaTimeout := flag.Duration("replica-timeout", 5*time.Second, "coordinator: per-attempt timeout for one replica partial")
+	replicaRetries := flag.Int("replica-retries", 2, "coordinator: retries per replica on transient failure")
+	hedge := flag.Duration("hedge", 0, "coordinator: duplicate a slow partial to the same replica after this delay (0 = off)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "coordinator: how long to keep retrying the -peers handshake at startup")
 	flag.Parse()
+
+	if *coordinator && *replicaSpec != "" {
+		fmt.Fprintln(os.Stderr, "-coordinator and -replica are exclusive roles")
+		return 1
+	}
+	if *coordinator && (*load != "" || *csvPath != "" || *demo != "" || *data != "" || *shards > 1 || *save != "" || *agg != "" || *dims != "") {
+		fmt.Fprintln(os.Stderr, "-coordinator loads and prepares nothing; it fronts the data and handles the -peers replicas own")
+		return 1
+	}
+	if *replicaSpec != "" && (*data != "" || *shards > 1 || *save != "") {
+		fmt.Fprintln(os.Stderr, "-replica needs a resident table to slice; it excludes -data, -shards, and -save")
+		return 1
+	}
 
 	db := aqppp.NewDB()
 	defer db.CloseStores()
 
 	var tbl *engine.Table
 	var storedPreps []aqppp.NamedPrep
-	if *data != "" {
+	if *coordinator {
+		// The replicas own the data; the coordinator loads nothing.
+	} else if *data != "" {
 		if *load != "" || *csvPath != "" || *demo != "" {
 			fmt.Fprintln(os.Stderr, "-data replaces -load/-csv/-demo; pick one source")
 			return 1
@@ -122,9 +159,73 @@ func run() int {
 			return 1
 		}
 	}
-	if *data != "" {
+	// prepSeed/prepBudget feed the startup handle; a replica derives
+	// them per shard so its build is bit-identical to the matching
+	// stratum of an in-process -shards run.
+	prepSeed, prepBudget := *seed, *k
+	var coord *dist.Coordinator
+	var replicaRole *server.ReplicaRole
+	switch {
+	case *coordinator:
+		urls := splitPeers(*peers)
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "-coordinator needs -peers with at least one replica URL")
+			return 1
+		}
+		dcfg := dist.Config{
+			Timeout:        *replicaTimeout,
+			Retries:        *replicaRetries,
+			Hedge:          *hedge,
+			DegradedApprox: *degradedApprox,
+		}
+		fmt.Fprintf(os.Stderr, "dialing %d replica(s) (handshake timeout %v)...\n", len(urls), *dialTimeout)
+		dctx, dcancel := context.WithTimeout(context.Background(), *dialTimeout)
+		c, err := dist.Dial(dctx, urls, dcfg)
+		dcancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		coord = c
+		if err := db.RegisterDistributed(coord.SchemaTable(), coord); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "fleet assembled: table %q across %d replicas, %d shared handle(s)\n",
+			coord.Table(), len(urls), len(coord.Handles()))
+	case *replicaSpec != "":
+		index, count, err := parseReplicaSpec(*replicaSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		col := *shardCol
+		if col == "" && *dims != "" {
+			col = strings.Split(*dims, ",")[0]
+		}
+		if col == "" {
+			fmt.Fprintln(os.Stderr, "-replica needs -shard-col (or -dims to default from)")
+			return 1
+		}
+		layout := shard.Layout{Strategy: shard.ByRange, Column: col, N: count}
+		slice, ident, err := dist.SliceTable(tbl, layout, index)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		tbl = slice
+		if err := db.Register(tbl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		prepSeed = shard.DeriveSeed(*seed, index)
+		prepBudget = shard.SplitBudget(*k, count)
+		replicaRole = &server.ReplicaRole{Table: tbl.Name, Ident: ident}
+		fmt.Fprintf(os.Stderr, "serving shard %d/%d of %q on %s: %d rows\n",
+			index, count, tbl.Name, col, ident.Rows)
+	case *data != "":
 		// Tables and handles came from the store; nothing to register here.
-	} else if *shards > 1 {
+	case *shards > 1:
 		col := *shardCol
 		if col == "" && *dims != "" {
 			col = strings.Split(*dims, ",")[0]
@@ -138,9 +239,11 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	} else if err := db.Register(tbl); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	default:
+		if err := db.Register(tbl); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 
 	cfg := server.Config{
@@ -155,11 +258,32 @@ func run() int {
 		QuotaRate:       *quotaRPS,
 		QuotaBurst:      *quotaBurst,
 		QuotaMaxClients: *quotaMaxClients,
+		Replica:         replicaRole,
+		Coordinator:     coord,
+	}
+	if *quotaAuthority != "" {
+		cfg.QuotaLease = dist.NewQuotaLease(*quotaAuthority, 0, nil)
+		fmt.Fprintf(os.Stderr, "leasing per-client quota from %s\n", *quotaAuthority)
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
 	}
 	srv := server.New(db, cfg)
+
+	if coord != nil {
+		for _, h := range coord.Handles() {
+			prep, err := db.DistPrepared(coord.Table(), h.Name, h.Confidence, h.SampleRows)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if err := srv.RegisterPrepared(h.Name, prep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "handle %q shared by every replica\n", h.Name)
+		}
+	}
 
 	for _, np := range storedPreps {
 		if err := srv.RegisterPrepared(np.Name, np.Prep); err != nil {
@@ -181,7 +305,7 @@ func run() int {
 		prep, err := db.Prepare(aqppp.PrepareOptions{
 			Table: tbl.Name, Aggregate: *agg,
 			Dimensions: strings.Split(*dims, ","),
-			SampleRate: *rate, CellBudget: *k, Seed: *seed,
+			SampleRate: *rate, CellBudget: prepBudget, Seed: prepSeed,
 			WithMinMax: *withMinMax,
 		})
 		if err != nil {
@@ -252,6 +376,26 @@ func run() int {
 	}
 	fmt.Fprintln(os.Stderr, "drained cleanly")
 	return 0
+}
+
+// parseReplicaSpec parses -replica's "h/N" shard assignment.
+func parseReplicaSpec(spec string) (index, count int, err error) {
+	n, err := fmt.Sscanf(spec, "%d/%d", &index, &count)
+	if err != nil || n != 2 || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-replica wants h/N with 0 <= h < N, got %q", spec)
+	}
+	return index, count, nil
+}
+
+// splitPeers parses -peers' comma-separated URL list.
+func splitPeers(peers string) []string {
+	var urls []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
 }
 
 // storePaths resolves -data: a .aqps file is served as is; a directory

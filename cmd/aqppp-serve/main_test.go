@@ -477,3 +477,202 @@ func TestServeStoreRestartSmoke(t *testing.T) {
 	}
 	stop(cmd2)
 }
+
+// TestServeFleetSmoke is the multi-process distributed smoke: two real
+// replica processes each owning one range slice of the demo table, a
+// coordinator process that dials them and fronts /v1/query, and a
+// single -shards 2 process as the oracle. The coordinator's exact and
+// approximate answers must be bit-identical to the oracle's (the
+// replicas derive the same per-shard prepare seeds and budgets the
+// in-process path uses), /statusz must render the fleet, and killing a
+// replica must turn full-range queries into typed 503 "unavailable"
+// sheds — never silent partial sums. Gated like the other binary
+// smokes behind AQPPP_SERVER_SMOKE=1.
+func TestServeFleetSmoke(t *testing.T) {
+	if os.Getenv("AQPPP_SERVER_SMOKE") == "" {
+		t.Skip("set AQPPP_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "aqppp-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	start := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}
+		})
+		got := make(chan string, 1)
+		go func() {
+			lines := bufio.NewScanner(stdout)
+			for lines.Scan() {
+				if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+					got <- rest
+					return
+				}
+			}
+			got <- ""
+		}()
+		var addr string
+		select {
+		case addr = <-got:
+		case <-time.After(60 * time.Second):
+			t.Fatal("server never announced its address")
+		}
+		if addr == "" {
+			t.Fatal("no listening line on stdout")
+		}
+		return cmd, "http://" + addr
+	}
+	stop := func(cmd *exec.Cmd, role string) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s drain exit: %v (want status 0)", role, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not exit after SIGTERM", role)
+		}
+	}
+	post := func(base, path string, body any) (int, map[string]any, http.Header) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out, resp.Header
+	}
+
+	// Every data-owning process loads the identical deterministic demo
+	// table; the replicas differ only in which slice they keep.
+	dataArgs := []string{
+		"-demo", "tpcd", "-rows", "5000", "-seed", "9",
+		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
+		"-sample-rate", "0.2", "-k", "500",
+		"-addr", "127.0.0.1:0", "-drain-timeout", "10s", "-quiet",
+	}
+	rep0, base0 := start(append([]string{"-replica", "0/2"}, dataArgs...)...)
+	rep1, base1 := start(append([]string{"-replica", "1/2"}, dataArgs...)...)
+	oracleCmd, oracleBase := start(append([]string{"-shards", "2"}, dataArgs...)...)
+	coordCmd, coordBase := start(
+		"-coordinator", "-peers", base0+","+base1,
+		"-replica-timeout", "10s", "-replica-retries", "1",
+		"-addr", "127.0.0.1:0", "-drain-timeout", "10s", "-quiet",
+	)
+
+	type queryReq struct {
+		SQL      string `json:"sql,omitempty"`
+		Prepared string `json:"prepared,omitempty"`
+	}
+	valueOf := func(body map[string]any, key string) float64 {
+		t.Helper()
+		v, ok := body[key].(float64)
+		if !ok {
+			t.Fatalf("body missing %s: %v", key, body)
+		}
+		return v
+	}
+	kindOf := func(body map[string]any) string {
+		e, _ := body["error"].(map[string]any)
+		k, _ := e["kind"].(string)
+		return k
+	}
+
+	// Exact and approximate answers over the network must equal the
+	// in-process sharded oracle's bit for bit.
+	for _, stmt := range []string{
+		"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000",
+		"SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 700 AND 2600",
+		"SELECT AVG(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 40 AND 4900",
+	} {
+		code, want, _ := post(oracleBase, "/v1/query", queryReq{SQL: stmt})
+		if code != http.StatusOK {
+			t.Fatalf("oracle exact %q = %d (%v)", stmt, code, want)
+		}
+		code, got, _ := post(coordBase, "/v1/query", queryReq{SQL: stmt})
+		if code != http.StatusOK {
+			t.Fatalf("coordinator exact %q = %d (%v)", stmt, code, got)
+		}
+		if gv, wv := valueOf(got, "value"), valueOf(want, "value"); gv != wv {
+			t.Errorf("exact %q: coordinator %v != oracle %v", stmt, gv, wv)
+		}
+	}
+	approxStmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000"
+	code, want, _ := post(oracleBase, "/v1/approx", queryReq{Prepared: "default", SQL: approxStmt})
+	if code != http.StatusOK {
+		t.Fatalf("oracle approx = %d (%v)", code, want)
+	}
+	code, got, _ := post(coordBase, "/v1/approx", queryReq{Prepared: "default", SQL: approxStmt})
+	if code != http.StatusOK {
+		t.Fatalf("coordinator approx = %d (%v)", code, got)
+	}
+	if gv, wv := valueOf(got, "value"), valueOf(want, "value"); gv != wv {
+		t.Errorf("approx value: coordinator %v != oracle %v", gv, wv)
+	}
+	if gh, wh := valueOf(got, "half_width"), valueOf(want, "half_width"); gh != wh {
+		t.Errorf("approx half_width: coordinator %v != oracle %v", gh, wh)
+	}
+
+	// The coordinator's /statusz renders fleet topology.
+	sresp, err := http.Get(coordBase + "/statusz")
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	sdata, err := io.ReadAll(sresp.Body)
+	_ = sresp.Body.Close()
+	if err != nil || sresp.StatusCode != http.StatusOK {
+		t.Fatalf("/statusz status %d err %v", sresp.StatusCode, err)
+	}
+	for _, needle := range []string{`"dist"`, `"topology_generation"`, `"replicas"`} {
+		if !strings.Contains(string(sdata), needle) {
+			t.Errorf("/statusz missing %s:\n%s", needle, sdata)
+		}
+	}
+
+	// Kill one replica outright (no drain). A fresh full-range query
+	// needs its stratum, so the coordinator must shed 503 "unavailable"
+	// rather than return a sum over half the table.
+	if err := rep1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = rep1.Wait()
+	lossStmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 1 AND 5000"
+	code, body, _ := post(coordBase, "/v1/query", queryReq{SQL: lossStmt})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("exact after replica kill = %d (%v), want 503", code, body)
+	}
+	if k := kindOf(body); k != "unavailable" {
+		t.Errorf("replica-loss kind = %q, want unavailable", k)
+	}
+
+	stop(coordCmd, "coordinator")
+	stop(rep0, "replica 0")
+	stop(oracleCmd, "oracle")
+}

@@ -29,6 +29,10 @@ const (
 	// ErrBudgetExceeded marks queries rejected or unwound by the
 	// per-query Budget.
 	ErrBudgetExceeded = exec.BudgetExceeded
+	// ErrUnavailable marks distributed queries that lost a required
+	// replica (unreachable, timed out, or shedding) with no degraded
+	// answer permitted. Its wire-stable String form is "unavailable".
+	ErrUnavailable = exec.Unavailable
 )
 
 // ErrorKindOf extracts the kind from an error returned by this package;

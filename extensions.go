@@ -23,6 +23,10 @@ func (p *Prepared) Insert(vals ...interface{}) error {
 		return &exec.Error{Kind: exec.Unsupported, Op: "insert",
 			Err: errSharded("incremental maintenance")}
 	}
+	if p.dist != nil {
+		return &exec.Error{Kind: exec.Unsupported, Op: "insert",
+			Err: errDist("incremental maintenance")}
+	}
 	if p.maintainer == nil {
 		m, err := core.NewMaintainer(p.tbl, p.proc, 0x5eed5eed)
 		if err != nil {
@@ -65,6 +69,9 @@ func (p *Prepared) QueryBootstrapWithBudget(ctx context.Context, statement strin
 func (p *Prepared) PlanBootstrap(statement string, resamples int) (*exec.Plan, error) {
 	if err := p.live("bootstrap"); err != nil {
 		return nil, err
+	}
+	if p.dist != nil {
+		return exec.PlanDistBootstrapStatement(p.dist, p.distHandle, p.tbl, statement, resamples, 0xb007)
 	}
 	if p.shp != nil {
 		return exec.PlanShardedBootstrapStatement(p.shp, p.tbl, statement, resamples, 0xb007)

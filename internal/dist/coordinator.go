@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aqppp/internal/core"
+	"aqppp/internal/engine"
+	"aqppp/internal/exec"
+	"aqppp/internal/shard"
+	"aqppp/internal/stats"
+)
+
+// Latency histogram domain: log10(µs) over [1µs, 1s), 24 buckets —
+// the serving layer's scheme, so per-replica histograms line up with
+// request histograms in /metrics.
+const (
+	latLogMin  = 0.0
+	latLogMax  = 6.0
+	latBuckets = 24
+)
+
+// replica is the coordinator's view of one peer: its identity from the
+// handshake plus per-replica traffic counters.
+type replica struct {
+	url   string
+	ident ShardIdentity
+
+	requests atomic.Uint64
+	retries  atomic.Uint64
+	failures atomic.Uint64
+	hedges   atomic.Uint64
+	shed     atomic.Uint64
+	healthy  atomic.Bool
+
+	mu      sync.Mutex
+	sumUS   float64
+	latency *stats.Histogram
+}
+
+func (r *replica) observe(d time.Duration) {
+	us := d.Seconds() * 1e6
+	if us < 1 {
+		us = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sumUS += us
+	r.latency.Add(math.Log10(us))
+}
+
+// Coordinator implements the shard fan-out contract over the network:
+// it owns the fleet topology discovered by Dial, builds shard.Groups
+// whose executors are remote replicas, and implements exec.Distributed
+// so plans route to it exactly like they route to in-process shards.
+// Because the Group — pruning, fan-out, algebraic exact merge,
+// stratified CI merge — is byte-for-byte the code the in-process path
+// runs, distributed answers are bit-identical (exact) and CI-identical
+// (approx) to their in-process sharded counterparts.
+type Coordinator struct {
+	cfg      Config
+	table    string
+	layout   shard.Layout
+	schema   *engine.Table
+	replicas []*replica // ascending by shard index, one per shard
+	handles  []HandleInfo
+
+	// topoGen stamps the topology into plan cache keys; membership or
+	// layout changes bump it, killing every cached answer computed
+	// under the old fleet.
+	topoGen  atomic.Uint64
+	pruned   atomic.Uint64
+	degraded atomic.Uint64
+}
+
+// Table reports the logical (source) table name the fleet serves.
+func (c *Coordinator) Table() string { return c.table }
+
+// SchemaTable returns the zero-row schema table Dial assembled from
+// the fleet: full column set with dictionaries and unioned ordinal
+// domains, so the SQL compiler resolves unbounded predicate sides and
+// string literals exactly as it would against the resident table.
+func (c *Coordinator) SchemaTable() *engine.Table { return c.schema }
+
+// Handles lists the prepared handles every replica serves.
+func (c *Coordinator) Handles() []HandleInfo { return c.handles }
+
+// Layout reports the fleet's shard layout.
+func (c *Coordinator) Layout() shard.Layout { return c.layout }
+
+// Signature implements exec.Distributed.
+func (c *Coordinator) Signature() string {
+	return fmt.Sprintf("%s@t%d", c.layout.Signature(), c.topoGen.Load())
+}
+
+func (c *Coordinator) confidenceFor(handle string) float64 {
+	for _, h := range c.handles {
+		if h.Name == handle {
+			return h.Confidence
+		}
+	}
+	return 0.95
+}
+
+// group builds the shared fan-out/merge engine over the fleet.
+func (c *Coordinator) group(handle string) *shard.Group {
+	execs := make([]shard.Executor, len(c.replicas))
+	for i, r := range c.replicas {
+		execs[i] = &remoteExec{c: c, r: r, handle: handle}
+	}
+	g := &shard.Group{
+		Layout:     c.layout,
+		Confidence: c.confidenceFor(handle),
+		Execs:      execs,
+		Workers:    c.cfg.Workers,
+		Observe:    func(k int, d time.Duration) { c.replicas[k].observe(d) },
+		OnPrune:    func(int) { c.pruned.Add(1) },
+	}
+	if c.cfg.DegradedApprox {
+		g.Degrade = func(err error) bool { return exec.KindOf(err) == exec.Unavailable }
+	}
+	return g
+}
+
+// Exact implements exec.Distributed.
+func (c *Coordinator) Exact(ctx context.Context, q engine.Query) (engine.Result, error) {
+	return c.group("").Exact(ctx, q)
+}
+
+// Approx implements exec.Distributed.
+func (c *Coordinator) Approx(ctx context.Context, handle string, q engine.Query) (core.Answer, bool, error) {
+	a, deg, err := c.group(handle).Answer(ctx, q)
+	c.noteDegraded(deg)
+	return a, deg != nil, err
+}
+
+// ApproxGroups implements exec.Distributed.
+func (c *Coordinator) ApproxGroups(ctx context.Context, handle string, q engine.Query) ([]core.GroupAnswer, bool, error) {
+	groups, deg, err := c.group(handle).AnswerGroups(ctx, q)
+	c.noteDegraded(deg)
+	return groups, deg != nil, err
+}
+
+// Bootstrap implements exec.Distributed.
+func (c *Coordinator) Bootstrap(ctx context.Context, handle string, q engine.Query, resamples int, seed uint64) (core.Answer, bool, error) {
+	a, deg, err := c.group(handle).AnswerBootstrap(ctx, q, resamples, seed)
+	c.noteDegraded(deg)
+	return a, deg != nil, err
+}
+
+func (c *Coordinator) noteDegraded(deg *shard.Degradation) {
+	if deg != nil {
+		c.degraded.Add(1)
+	}
+}
+
+// remoteExec adapts one replica to shard.Executor: each method is one
+// partial request over the wire, decoded bit-for-bit.
+type remoteExec struct {
+	c      *Coordinator
+	r      *replica
+	handle string
+}
+
+// Info implements shard.Executor.
+func (e *remoteExec) Info() shard.ExecutorInfo {
+	return shard.ExecutorInfo{
+		Index:  e.r.ident.Index,
+		Rows:   e.r.ident.Rows,
+		Lo:     math.Float64frombits(e.r.ident.LoBits),
+		Hi:     math.Float64frombits(e.r.ident.HiBits),
+		Approx: e.handle != "",
+	}
+}
+
+func (e *remoteExec) request(ctx context.Context, mode string, q engine.Query) *PartialRequest {
+	return &PartialRequest{
+		V:         WireVersion,
+		Mode:      mode,
+		Table:     e.c.table,
+		Query:     ToWireQuery(q),
+		Handle:    e.handle,
+		TimeoutMS: timeoutMSFrom(ctx),
+	}
+}
+
+// ExactPartial implements shard.Executor.
+func (e *remoteExec) ExactPartial(ctx context.Context, q engine.Query) (engine.PartialResult, error) {
+	pr, err := e.c.postPartial(ctx, e.r, e.request(ctx, ModeExact, q))
+	if err != nil {
+		return engine.PartialResult{}, err
+	}
+	var out engine.PartialResult
+	if pr.Scalar != nil {
+		out.Scalar = FromWirePartial(*pr.Scalar)
+	}
+	for _, g := range pr.Groups {
+		out.Groups = append(out.Groups, engine.GroupPartial{Key: g.Key, Partial: FromWirePartial(g.Partial)})
+	}
+	return out, nil
+}
+
+// ApproxAnswer implements shard.Executor.
+func (e *remoteExec) ApproxAnswer(ctx context.Context, q engine.Query) (core.Answer, error) {
+	pr, err := e.c.postPartial(ctx, e.r, e.request(ctx, ModeApprox, q))
+	if err != nil {
+		return core.Answer{}, err
+	}
+	if pr.Answer == nil {
+		return core.Answer{}, &exec.Error{Kind: exec.Internal, Op: "query",
+			Err: fmt.Errorf("replica %s returned no answer for approx partial", e.r.url)}
+	}
+	return FromWireAnswer(*pr.Answer), nil
+}
+
+// ApproxGroups implements shard.Executor.
+func (e *remoteExec) ApproxGroups(ctx context.Context, q engine.Query) ([]core.GroupAnswer, error) {
+	pr, err := e.c.postPartial(ctx, e.r, e.request(ctx, ModeGroups, q))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.GroupAnswer, 0, len(pr.AnswerGroups))
+	for _, g := range pr.AnswerGroups {
+		out = append(out, core.GroupAnswer{Key: g.Key, Answer: FromWireAnswer(g.Answer)})
+	}
+	return out, nil
+}
+
+// ApproxBootstrap implements shard.Executor.
+func (e *remoteExec) ApproxBootstrap(ctx context.Context, q engine.Query, resamples int, seed uint64) (core.Answer, error) {
+	req := e.request(ctx, ModeBootstrap, q)
+	req.Resamples = resamples
+	req.Seed = seed
+	pr, err := e.c.postPartial(ctx, e.r, req)
+	if err != nil {
+		return core.Answer{}, err
+	}
+	if pr.Answer == nil {
+		return core.Answer{}, &exec.Error{Kind: exec.Internal, Op: "bootstrap",
+			Err: fmt.Errorf("replica %s returned no answer for bootstrap partial", e.r.url)}
+	}
+	return FromWireAnswer(*pr.Answer), nil
+}
+
+// ReplicaSnapshot is one replica's observable state for /statusz and
+// /metrics.
+type ReplicaSnapshot struct {
+	URL      string `json:"url"`
+	Index    int    `json:"index"`
+	Rows     int    `json:"rows"`
+	Healthy  bool   `json:"healthy"`
+	Requests uint64 `json:"requests"`
+	Retries  uint64 `json:"retries"`
+	Failures uint64 `json:"failures"`
+	Hedges   uint64 `json:"hedges"`
+	Shed     uint64 `json:"shed"`
+	// Latency holds the replica's request-latency bucket counts
+	// (log10-µs, the serving layer's scheme); LatencySumUS the total.
+	Latency      []int64 `json:"-"`
+	LatencySumUS float64 `json:"-"`
+}
+
+// Snapshot is the fleet's point-in-time topology and traffic view.
+type Snapshot struct {
+	Table    string            `json:"table"`
+	Layout   string            `json:"layout"`
+	TopoGen  uint64            `json:"topology_generation"`
+	Pruned   uint64            `json:"pruned"`
+	Degraded uint64            `json:"degraded"`
+	Handles  []HandleInfo      `json:"handles,omitempty"`
+	Replicas []ReplicaSnapshot `json:"replicas"`
+}
+
+// Snapshot captures the fleet state.
+func (c *Coordinator) Snapshot() Snapshot {
+	snap := Snapshot{
+		Table:    c.table,
+		Layout:   c.layout.Signature(),
+		TopoGen:  c.topoGen.Load(),
+		Pruned:   c.pruned.Load(),
+		Degraded: c.degraded.Load(),
+		Handles:  c.handles,
+	}
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		counts := append([]int64(nil), r.latency.Counts...)
+		sumUS := r.sumUS
+		r.mu.Unlock()
+		snap.Replicas = append(snap.Replicas, ReplicaSnapshot{
+			URL: r.url, Index: r.ident.Index, Rows: r.ident.Rows,
+			Healthy:  r.healthy.Load(),
+			Requests: r.requests.Load(), Retries: r.retries.Load(),
+			Failures: r.failures.Load(), Hedges: r.hedges.Load(),
+			Shed: r.shed.Load(), Latency: counts, LatencySumUS: sumUS,
+		})
+	}
+	return snap
+}

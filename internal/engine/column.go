@@ -63,6 +63,13 @@ type Column struct {
 	src     ColumnSource
 	srcRows int
 
+	// domLo/domHi, when hasDom is set, override OrdinalDomain with an
+	// externally supplied bound: a schema-only column (see
+	// NewSchemaColumn) holds no rows but must still answer plan-time
+	// domain queries for data that lives elsewhere.
+	domLo, domHi float64
+	hasDom       bool
+
 	// The rank table (code → lexicographic rank) and zone map (per-block
 	// min/max) are derived caches, built lazily on first use and rebuilt
 	// after appends. Both are published through atomic pointers with
@@ -85,6 +92,16 @@ type rankTable struct {
 // NewIntColumn creates an Int64 column with the given values.
 func NewIntColumn(name string, vals []int64) *Column {
 	return &Column{Name: name, Type: Int64, Ints: vals}
+}
+
+// NewSchemaColumn creates a zero-row column that still answers
+// plan-time questions — type, dictionary ranks, and OrdinalDomain —
+// for data that lives elsewhere (a remote replica fleet). lo/hi is the
+// inclusive ordinal domain of the remote data; dict, for String
+// columns, must be the remote dictionary verbatim so literal ranks
+// resolve identically on both sides.
+func NewSchemaColumn(name string, typ ColType, dict []string, lo, hi float64) *Column {
+	return &Column{Name: name, Type: typ, Dict: dict, domLo: lo, domHi: hi, hasDom: true}
 }
 
 // NewFloatColumn creates a Float64 column with the given values.
@@ -206,6 +223,9 @@ func (c *Column) StringAt(row int) string {
 // OrdinalDomain returns the inclusive [min, max] ordinal range present in
 // the column, or (0, -1) for an empty column.
 func (c *Column) OrdinalDomain() (float64, float64) {
+	if c.hasDom {
+		return c.domLo, c.domHi
+	}
 	n := c.Len()
 	if n == 0 {
 		return 0, -1

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"aqppp/internal/core"
+	"aqppp/internal/engine"
+)
+
+// Distributed answers plans over a replica fleet. internal/dist's
+// coordinator implements it; exec defines it so the plan layer can
+// route to remote shards without importing the network stack. The
+// partial return reports that the answer was degraded — computed from
+// surviving strata after a tolerated replica loss — and must never be
+// cached.
+type Distributed interface {
+	// Signature renders the fleet's layout and topology generation
+	// canonically for cache keys: answers computed under one topology
+	// must never serve a plan running under another.
+	Signature() string
+	// Exact runs an exact query scatter-gather across the fleet.
+	// Exact answers never degrade: a lost replica is an Unavailable
+	// error.
+	Exact(ctx context.Context, q engine.Query) (engine.Result, error)
+	// Approx answers a scalar approximate query through the named
+	// prepared handle on every active replica.
+	Approx(ctx context.Context, handle string, q engine.Query) (core.Answer, bool, error)
+	// ApproxGroups answers a GROUP BY approximate query.
+	ApproxGroups(ctx context.Context, handle string, q engine.Query) ([]core.GroupAnswer, bool, error)
+	// Bootstrap answers SUM/COUNT with per-replica bootstrap streams.
+	Bootstrap(ctx context.Context, handle string, q engine.Query, resamples int, seed uint64) (core.Answer, bool, error)
+}
+
+// PlanDistQueryStatement compiles a statement against the fleet's
+// schema table into a distributed AQP++ plan answered through the
+// named prepared handle on every replica.
+func PlanDistQueryStatement(d Distributed, handle string, tbl *engine.Table, statement string) (*Plan, error) {
+	q, err := compileFor("query", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanApprox, Table: tbl, Query: q, Dist: d, DistHandle: handle}, nil
+}
+
+// PlanDistBootstrapStatement compiles a statement into a distributed
+// bootstrap plan (independent seeded streams per replica, CI merge at
+// the coordinator).
+func PlanDistBootstrapStatement(d Distributed, handle string, tbl *engine.Table, statement string, resamples int, seed uint64) (*Plan, error) {
+	q, err := compileFor("bootstrap", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Kind: PlanBootstrap, Table: tbl, Query: q, Dist: d, DistHandle: handle, Resamples: resamples, Seed: seed}, nil
+}
+
+// dispatchDist routes a plan to the fleet. The scratch and worker
+// knobs do not apply — resampling happens on the replicas — but the
+// resample cap does, enforced before any network round.
+func (ex *Executor) dispatchDist(ctx context.Context, p *Plan, b Budget) (Outcome, error) {
+	switch p.Kind {
+	case PlanExact:
+		res, err := p.Dist.Exact(ctx, p.Query)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Exact: res}, nil
+
+	case PlanApprox:
+		if len(p.Query.GroupBy) > 0 {
+			groups, partial, err := p.Dist.ApproxGroups(ctx, p.DistHandle, p.Query)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Groups: groups, Partial: partial}, nil
+		}
+		ans, partial, err := p.Dist.Approx(ctx, p.DistHandle, p.Query)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Answer: ans, Partial: partial}, nil
+
+	case PlanBootstrap:
+		resamples := p.Resamples
+		if resamples <= 0 {
+			resamples = core.DefaultResamples
+		}
+		if b.MaxResamples > 0 && resamples > b.MaxResamples {
+			return Outcome{}, &Error{Kind: BudgetExceeded, Op: "bootstrap",
+				Err: fmt.Errorf("%d resamples exceed the budget's cap of %d", resamples, b.MaxResamples)}
+		}
+		ans, partial, err := p.Dist.Bootstrap(ctx, p.DistHandle, p.Query, resamples, p.Seed)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Answer: ans, Partial: partial}, nil
+
+	default:
+		return Outcome{}, &Error{Kind: Unsupported, Op: "run",
+			Err: fmt.Errorf("plan kind %v cannot run distributed", p.Kind)}
+	}
+}

@@ -43,6 +43,10 @@ const (
 	// BudgetExceeded marks queries rejected or unwound by the per-query
 	// Budget: its deadline fired, or a resample/scratch cap was blown.
 	BudgetExceeded
+	// Unavailable marks distributed queries that lost a required replica:
+	// the replica was unreachable, timed out, or shed the partial request,
+	// and the degraded-answer policy (if any) could not absorb the loss.
+	Unavailable
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,8 @@ func (k Kind) String() string {
 		return "canceled"
 	case BudgetExceeded:
 		return "budget-exceeded"
+	case Unavailable:
+		return "unavailable"
 	default:
 		return "internal"
 	}

@@ -38,6 +38,11 @@ type Outcome struct {
 	Groups []core.GroupAnswer
 	// Template is the template index a PlanMulti plan routed to.
 	Template int
+	// Partial reports a degraded distributed answer: one or more
+	// replicas were lost, the opt-in policy tolerated it, and the
+	// answer was extrapolated from surviving strata with a widened
+	// interval. Partial outcomes must never be cached.
+	Partial bool
 }
 
 // Executor runs Plans. It is safe for concurrent use; scratch buffers
@@ -122,6 +127,9 @@ func (b Budget) bound(ctx context.Context) (context.Context, context.CancelFunc,
 func (ex *Executor) dispatch(ctx context.Context, p *Plan, b Budget) (Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return Outcome{}, err
+	}
+	if p.Dist != nil {
+		return ex.dispatchDist(ctx, p, b)
 	}
 	switch p.Kind {
 	case PlanExact:

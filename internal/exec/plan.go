@@ -72,6 +72,13 @@ type Plan struct {
 	// per-shard processors with a stratified CI merge (a shard is a
 	// stratum); Proc is nil on such plans.
 	ShardPrep *shard.Prepared
+	// Dist, when set, routes the plan to a remote replica fleet (the
+	// cross-process analogue of Shards/ShardPrep); Proc, Shards and
+	// ShardPrep are nil on such plans.
+	Dist Distributed
+	// DistHandle names the prepared handle every replica answers
+	// Dist-routed approx/bootstrap plans through.
+	DistHandle string
 }
 
 // CacheKey renders the plan as a canonical string suitable for keying a
@@ -124,6 +131,17 @@ func (p *Plan) CacheKey() string {
 	} else if p.ShardPrep != nil {
 		b.WriteString("|shards=")
 		b.WriteString(p.ShardPrep.S.Layout.Signature())
+	}
+	// The fleet signature folds the replica topology generation in, so
+	// cached answers die with the membership that computed them; the
+	// handle distinguishes fleets serving several preparations.
+	if p.Dist != nil {
+		b.WriteString("|dist=")
+		b.WriteString(p.Dist.Signature())
+		if p.DistHandle != "" {
+			b.WriteString("|dh=")
+			b.WriteString(p.DistHandle)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"aqppp/internal/lint/cfg"
+)
+
+// BodyCloseRule reports *http.Response bodies that are not closed on
+// every path: a response obtained from http.Get, Client.Do, or any
+// other call returning *net/http.Response whose Body some path to a
+// normal return neither closes nor hands off. An unclosed body pins
+// the underlying connection — the transport cannot reuse or release
+// it — so the distributed coordinator's partial fan-out would leak one
+// connection per replica call.
+//
+// The obligation arms at the response's first real use, not at the
+// assignment: the idiomatic `resp, err := ...; if err != nil { return
+// err }` leaves resp nil on the error path, so an untouched response
+// owes nothing. Once armed, the obligation is discharged by a
+// resp.Body.Close() call or defer, or by any bare (non-selector) use
+// of resp — passing it onward, returning it, storing it, capturing it
+// in a closure — because every such use moves responsibility
+// somewhere this intraprocedural rule cannot follow. Assigning the
+// response to the blank identifier is reported immediately: the body
+// is unreachable from there. Paths into panic are ignored, matching
+// lock-balance and cancel-leak.
+type BodyCloseRule struct{}
+
+// Name implements Rule.
+func (BodyCloseRule) Name() string { return "body-close" }
+
+// Check implements Rule.
+func (BodyCloseRule) Check(pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, f := range pkg.Files {
+		funcBodies(f, func(name string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+			checkBodyClose(pkg, name, body, report)
+		})
+	}
+}
+
+// bodyFacts maps each tracked response variable to its obligation
+// state. A response is "pending" until its first selector use arms the
+// obligation; only armed obligations report at exit.
+type bodyFacts map[types.Object]bodyState
+
+type bodyState struct {
+	pos   token.Pos
+	name  string // variable name
+	armed bool   // a selector use proved the response is live
+}
+
+func checkBodyClose(pkg *Package, fname string, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
+	// Blank-assigned responses are unconditional leaks (when the call
+	// succeeds, nobody can reach the body); report them in a pre-pass
+	// so the dataflow transfer stays pure.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals get their own funcBodies visit
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if _, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" {
+				continue
+			}
+			if isHTTPResponsePtr(assignedType(pkg, as, i)) {
+				report(as.Rhs[0].Pos(),
+					"the *http.Response is discarded; its body can never be closed and the connection leaks")
+			}
+		}
+		return true
+	})
+	g := cfg.New(body)
+	clone := func(f bodyFacts) bodyFacts {
+		out := make(bodyFacts, len(f))
+		for k, v := range f {
+			out[k] = v
+		}
+		return out
+	}
+	fwd := &cfg.Forward[bodyFacts]{
+		Entry: bodyFacts{},
+		Merge: func(a, b bodyFacts) bodyFacts {
+			out := clone(a)
+			for k, v := range b {
+				if w, ok := out[k]; ok {
+					v.armed = v.armed || w.armed // armed on any path counts
+					if w.pos < v.pos {
+						v.pos, v.name = w.pos, w.name
+					}
+				}
+				out[k] = v
+			}
+			return out
+		},
+		Equal: func(a, b bodyFacts) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+		TransferNode: func(n ast.Node, in bodyFacts) bodyFacts {
+			out := in
+			mutated := false
+			mutate := func() bodyFacts {
+				if !mutated {
+					out = clone(in)
+					mutated = true
+				}
+				return out
+			}
+			// New obligations: assignments binding a *http.Response
+			// from a call. Rebinds reset the variable's state — the
+			// old response's fate was sealed by whatever the previous
+			// statements did with it.
+			defined := make(map[types.Object]bool)
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall {
+					for i, lhs := range as.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok || id.Name == "_" || !isHTTPResponsePtr(assignedType(pkg, as, i)) {
+							continue
+						}
+						obj := pkg.Info.Defs[id]
+						if obj == nil {
+							obj = pkg.Info.Uses[id]
+						}
+						if obj != nil {
+							mutate()[obj] = bodyState{pos: id.Pos(), name: id.Name}
+							defined[obj] = true
+						}
+					}
+				}
+			}
+			// Uses: classify every occurrence of a tracked variable in
+			// this node. Close and bare handoffs discharge; any other
+			// selector use (resp.StatusCode, resp.Body, ...) arms the
+			// obligation.
+			closed := make(map[types.Object]bool)
+			handoff := make(map[types.Object]bool)
+			used := make(map[types.Object]bool)
+			selBase := make(map[*ast.Ident]*ast.SelectorExpr)
+			ast.Inspect(n, func(x ast.Node) bool {
+				if sel, ok := x.(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						selBase[id] = sel
+					}
+				}
+				if isBodyCloseCall(x) {
+					if id := closeReceiver(x); id != nil {
+						if obj := pkg.Info.Uses[id]; obj != nil {
+							closed[obj] = true
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(n, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil || defined[obj] {
+					return true
+				}
+				if _, tracked := out[obj]; !tracked {
+					if _, tracked = in[obj]; !tracked {
+						return true
+					}
+				}
+				if sel := selBase[id]; sel != nil {
+					used[obj] = true
+				} else {
+					handoff[obj] = true
+				}
+				return true
+			})
+			for obj := range closed {
+				if _, tracked := out[obj]; tracked {
+					delete(mutate(), obj)
+				}
+			}
+			for obj := range handoff {
+				if _, tracked := out[obj]; tracked {
+					delete(mutate(), obj)
+				}
+			}
+			for obj := range used {
+				if st, tracked := out[obj]; tracked && !st.armed {
+					st.armed = true
+					mutate()[obj] = st
+				}
+			}
+			return out
+		},
+	}
+	res := fwd.Run(g)
+	type finding struct {
+		state   bodyState
+		retLine int
+	}
+	found := make(map[token.Pos]finding)
+	for _, pred := range g.Exit.Preds {
+		if !res.Has[pred.Index] {
+			continue
+		}
+		fact := res.AtNode(pred, len(pred.Nodes))
+		retLine := 0
+		if n := len(pred.Nodes); n > 0 {
+			if ret, ok := pred.Nodes[n-1].(*ast.ReturnStmt); ok {
+				retLine = pkg.Fset.Position(ret.Pos()).Line
+			}
+		}
+		for _, st := range fact {
+			if !st.armed {
+				continue
+			}
+			if prev, ok := found[st.pos]; ok && prev.retLine != 0 && (retLine == 0 || prev.retLine <= retLine) {
+				continue
+			}
+			found[st.pos] = finding{state: st, retLine: retLine}
+		}
+	}
+	poss := make([]token.Pos, 0, len(found))
+	for pos := range found {
+		poss = append(poss, pos)
+	}
+	sortPos(poss)
+	for _, pos := range poss {
+		f := found[pos]
+		where := "the end of " + fname
+		if f.retLine != 0 {
+			where = fmt.Sprintf("the return at line %d", f.retLine)
+		}
+		report(pos, fmt.Sprintf("%s.Body is not closed on the path to %s; the connection cannot be reused or released",
+			f.state.name, where))
+	}
+}
+
+// assignedType resolves the static type assignment as gives its i'th
+// LHS: the call's i'th tuple component for a multi-value RHS, the
+// call's type otherwise.
+func assignedType(pkg *Package, as *ast.AssignStmt, i int) types.Type {
+	tv, ok := pkg.Info.Types[as.Rhs[0]]
+	if !ok {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		if i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	if i == 0 {
+		return tv.Type
+	}
+	return nil
+}
+
+// isHTTPResponsePtr reports whether t is *net/http.Response.
+func isHTTPResponsePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response"
+}
+
+// isBodyCloseCall reports whether x is a call of the form
+// <ident>.Body.Close().
+func isBodyCloseCall(x ast.Node) bool {
+	return closeReceiver(x) != nil
+}
+
+// closeReceiver returns the receiver variable of an
+// <ident>.Body.Close() call, or nil when x is not one.
+func closeReceiver(x ast.Node) *ast.Ident {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	closeSel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || closeSel.Sel.Name != "Close" {
+		return nil
+	}
+	bodySel, ok := ast.Unparen(closeSel.X).(*ast.SelectorExpr)
+	if !ok || bodySel.Sel.Name != "Body" {
+		return nil
+	}
+	id, _ := ast.Unparen(bodySel.X).(*ast.Ident)
+	return id
+}

@@ -25,6 +25,9 @@
 //     the matching Unlock (flow-sensitive, over internal/lint/cfg)
 //   - cancel-leak:       context cancel funcs not called or deferred on
 //     every path
+//   - body-close:        *http.Response bodies not closed on every path
+//     once the response is used (armed at first use, so the idiomatic
+//     nil-on-error return stays clean)
 //   - guarded-field:     struct fields accessed under the receiver's
 //     mutex in some methods but bare in others (uses the module call
 //     graph to recognize locked-section helpers)
@@ -33,7 +36,7 @@
 //   - ctx-propagation:   a ctx-holding function calling a sibling whose
 //     ...Context variant exists in the same package
 //
-// The first seven are AST walkers from PR 1; the last five are
+// The first seven are AST walkers from PR 1; the last six are
 // flow-aware, built on the CFG + dataflow framework in
 // internal/lint/cfg and the module-wide call graph in callgraph.go.
 //
@@ -113,6 +116,7 @@ func Rules() []Rule {
 		CtxFirstRule{},
 		LockBalanceRule{},
 		CancelLeakRule{},
+		BodyCloseRule{},
 		&GuardedFieldRule{},
 		AtomicMixRule{},
 		CtxPropRule{},

@@ -66,8 +66,8 @@ func TestRulesOnTestdata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 12 {
-		t.Fatalf("loaded %d testdata packages, want >= 12 (one per rule)", len(pkgs))
+	if len(pkgs) < 13 {
+		t.Fatalf("loaded %d testdata packages, want >= 13 (one per rule)", len(pkgs))
 	}
 	diags := Run(pkgs, Rules(), nil)
 	wants := parseWants(t, modDir)

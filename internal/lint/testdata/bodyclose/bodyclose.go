@@ -1,0 +1,116 @@
+// Package bodyclose is seeded testdata for the body-close rule.
+package bodyclose
+
+import (
+	"io"
+	"net/http"
+)
+
+// EarlyReturn closes on the happy path but leaks the body when the
+// read fails.
+func EarlyReturn(url string) ([]byte, error) {
+	resp, err := http.Get(url) // want body-close
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	_ = resp.Body.Close()
+	return data, nil
+}
+
+// NeverClosed uses the response and forgets Close entirely.
+func NeverClosed(url string) (int, error) {
+	resp, err := http.Get(url) // want body-close
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// Discarded throws the response away: nobody can ever reach the body.
+func Discarded(url string) error {
+	_, err := http.Get(url) // want body-close
+	return err
+}
+
+// Rebound closes the first response, then leaks the second on the
+// status branch.
+func Rebound(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+	resp, err = http.Get(url) // want body-close
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return http.ErrNotSupported
+	}
+	return resp.Body.Close()
+}
+
+// ErrCheckOnly never touches the response before handing its Close
+// error back: the nil-on-error idiom stays clean.
+func ErrCheckOnly(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// DeferOK defers the close right after the error check. (The bare
+// defer drops Close's error, which is the neighboring rule's finding,
+// not this one's.)
+func DeferOK(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() // want dropped-error
+	return io.ReadAll(resp.Body)
+}
+
+// DeferClosureOK wraps Close so the dropped error is explicit.
+func DeferClosureOK(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return io.ReadAll(resp.Body)
+}
+
+// ClosedOnEveryPath closes explicitly on both branches.
+func ClosedOnEveryPath(url string, wantBody bool) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if !wantBody {
+		_ = resp.Body.Close()
+		return nil, nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return data, err
+}
+
+// HandedOff returns the response: responsibility for the body moves to
+// the caller.
+func HandedOff(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return nil, http.ErrNotSupported
+	}
+	return resp, nil
+}

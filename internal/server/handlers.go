@@ -48,6 +48,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/approx", s.instrument("/v1/approx", s.handleApprox))
 	s.mux.HandleFunc("POST /v1/prepare", s.instrument("/v1/prepare", s.handlePrepare))
 	s.mux.HandleFunc("DELETE /v1/prepared/{name}", s.instrument("/v1/prepared", s.handleDropPrepared))
+	s.mux.HandleFunc("GET /v1/shard", s.instrument("/v1/shard", s.handleShardHello))
+	s.mux.HandleFunc("POST /v1/partial", s.instrument("/v1/partial", s.handlePartial))
+	s.mux.HandleFunc("POST /v1/quota/lease", s.instrument("/v1/quota/lease", s.handleQuotaLease))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statusz", s.instrument("/statusz", s.handleStatusz))
@@ -81,15 +84,31 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps err onto its HTTP status and JSON body, counting the
-// kind in the metrics registry.
+// kind in the metrics registry. An error carrying a retry-after hint —
+// a coordinator's replica was shedding — propagates the hint as a
+// Retry-After header and its millisecond mirror, so the backoff a
+// replica asked for reaches the client instead of vanishing into a
+// bare failure.
 func (s *Server) writeError(w http.ResponseWriter, ri *reqInfo, err error) {
 	kind := aqppp.ErrorKindOf(err)
 	s.met.observeKind(kind.String())
-	s.writeJSON(w, statusForKind(kind), ErrorBody{Error: ErrorDetail{
+	detail := ErrorDetail{
 		Kind:      kind.String(),
 		Message:   err.Error(),
 		RequestID: ri.id,
-	}})
+	}
+	var hinted interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &hinted) {
+		if ra := hinted.RetryAfterHint(); ra > 0 {
+			secs := int64((ra + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			detail.RetryAfterMS = int64(ra / time.Millisecond)
+		}
+	}
+	s.writeJSON(w, statusForKind(kind), ErrorBody{Error: detail})
 }
 
 // writeServerError emits a server-level (non-taxonomy) error kind.
@@ -137,10 +156,19 @@ func clientKey(r *http.Request) string {
 // and dashboards can tell "you are hot" from "the server is full" —
 // and the caller must return.
 func (s *Server) allowQuota(w http.ResponseWriter, r *http.Request, ri *reqInfo) bool {
-	if s.quota == nil {
+	var ok bool
+	var wait time.Duration
+	switch {
+	case s.cfg.QuotaLease != nil:
+		// Fleet mode: admit from leased tokens so every process drains
+		// one logical per-client bucket. An unreachable authority fails
+		// open — quota is load protection, not an availability gate.
+		ok, wait, _ = s.cfg.QuotaLease.Allow(r.Context(), clientKey(r))
+	case s.quota != nil:
+		ok, wait = s.quota.Allow(clientKey(r), time.Now())
+	default:
 		return true
 	}
-	ok, wait := s.quota.Allow(clientKey(r), time.Now())
 	if ok {
 		return true
 	}
@@ -357,7 +385,11 @@ func (s *Server) handleApprox(w http.ResponseWriter, r *http.Request, ri *reqInf
 		return
 	}
 	resp := approxResponse(ri.id, res, time.Since(t0))
-	s.cache.Put(key, gen, resp)
+	if !resp.Partial {
+		// A degraded answer reflects which replicas happened to be up,
+		// not the data; it must never outlive the outage in the cache.
+		s.cache.Put(key, gen, resp)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -477,6 +509,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqIn
 		Endpoints:      eps,
 		Shards:         s.db.ShardSnapshots(),
 		Stores:         s.db.StoreSnapshots(),
+	}
+	if s.cfg.Coordinator != nil {
+		snap := s.cfg.Coordinator.Snapshot()
+		resp.Dist = &snap
+	}
+	if s.cfg.QuotaLease != nil {
+		snap := s.cfg.QuotaLease.Snapshot()
+		resp.QuotaLease = &snap
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -34,6 +34,14 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// boolGauge renders a bool as a 0/1 gauge sample.
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // promEndpoint is one endpoint's metrics snapshot in deterministic
 // (sorted) order for rendering.
 type promEndpoint struct {
@@ -221,6 +229,71 @@ func (s *Server) renderMetrics() []byte {
 					table, sh.Index, sh.Scans)
 			}
 		}
+	}
+
+	// Distributed fleet (coordinator only): topology, per-replica
+	// request/retry/failure/hedge/shed counters and request-latency
+	// histograms (same log-scale buckets as everything else).
+	if c := s.cfg.Coordinator; c != nil {
+		sn := c.Snapshot()
+		promHead(&b, "aqppp_dist_topology_generation", "gauge", "Fleet topology generation folded into distributed cache keys.")
+		fmt.Fprintf(&b, "aqppp_dist_topology_generation{table=\"%s\"} %d\n", promEscape(sn.Table), sn.TopoGen)
+		promHead(&b, "aqppp_dist_pruned_total", "counter", "Replica requests skipped by range-bound pruning.")
+		fmt.Fprintf(&b, "aqppp_dist_pruned_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Pruned)
+		promHead(&b, "aqppp_dist_degraded_total", "counter", "Distributed answers served degraded from surviving strata.")
+		fmt.Fprintf(&b, "aqppp_dist_degraded_total{table=\"%s\"} %d\n", promEscape(sn.Table), sn.Degraded)
+		promHead(&b, "aqppp_replica_healthy", "gauge", "1 while the replica's last partial round trip succeeded.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_healthy{replica=\"%s\"} %d\n", promEscape(rp.URL), boolGauge(rp.Healthy))
+		}
+		promHead(&b, "aqppp_replica_requests_total", "counter", "Partial-request attempts per replica.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_requests_total{replica=\"%s\"} %d\n", promEscape(rp.URL), rp.Requests)
+		}
+		promHead(&b, "aqppp_replica_retries_total", "counter", "Partial-request retries per replica.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_retries_total{replica=\"%s\"} %d\n", promEscape(rp.URL), rp.Retries)
+		}
+		promHead(&b, "aqppp_replica_failures_total", "counter", "Partial requests that exhausted every attempt per replica.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_failures_total{replica=\"%s\"} %d\n", promEscape(rp.URL), rp.Failures)
+		}
+		promHead(&b, "aqppp_replica_hedges_total", "counter", "Hedged duplicate attempts launched per replica.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_hedges_total{replica=\"%s\"} %d\n", promEscape(rp.URL), rp.Hedges)
+		}
+		promHead(&b, "aqppp_replica_shed_total", "counter", "Partial requests the replica shed with 429 per replica.")
+		for _, rp := range sn.Replicas {
+			fmt.Fprintf(&b, "aqppp_replica_shed_total{replica=\"%s\"} %d\n", promEscape(rp.URL), rp.Shed)
+		}
+		promHead(&b, "aqppp_replica_request_duration_seconds", "histogram", "Successful partial round-trip time per replica (log-scale buckets, 1µs–1s).")
+		for _, rp := range sn.Replicas {
+			name := promEscape(rp.URL)
+			var cum, total int64
+			for _, n := range rp.Latency {
+				total += n
+			}
+			for i := 0; i < latBuckets-1; i++ {
+				cum += rp.Latency[i]
+				le := math.Pow(10, latLogMin+float64(i+1)*width) / 1e6
+				fmt.Fprintf(&b, "aqppp_replica_request_duration_seconds_bucket{replica=\"%s\",le=\"%s\"} %d\n",
+					name, promFloat(le), cum)
+			}
+			fmt.Fprintf(&b, "aqppp_replica_request_duration_seconds_bucket{replica=\"%s\",le=\"+Inf\"} %d\n", name, total)
+			fmt.Fprintf(&b, "aqppp_replica_request_duration_seconds_sum{replica=\"%s\"} %s\n", name, promFloat(rp.LatencySumUS/1e6))
+			fmt.Fprintf(&b, "aqppp_replica_request_duration_seconds_count{replica=\"%s\"} %d\n", name, total)
+		}
+	}
+
+	// Shared-quota lease client (replica side of fleet quota).
+	if ql := s.cfg.QuotaLease; ql != nil {
+		sn := ql.Snapshot()
+		promHead(&b, "aqppp_quota_lease_calls_total", "counter", "Lease round trips to the quota authority.")
+		fmt.Fprintf(&b, "aqppp_quota_lease_calls_total %d\n", sn.LeaseCalls)
+		promHead(&b, "aqppp_quota_lease_denied_total", "counter", "Requests denied because the authority granted zero tokens.")
+		fmt.Fprintf(&b, "aqppp_quota_lease_denied_total %d\n", sn.Denied)
+		promHead(&b, "aqppp_quota_lease_failopen_total", "counter", "Requests admitted because the quota authority was unreachable.")
+		fmt.Fprintf(&b, "aqppp_quota_lease_failopen_total %d\n", sn.FailOpen)
 	}
 
 	// Disk-backed stores: block-cache counters and resident bytes per

@@ -90,6 +90,52 @@ func (q *Quota) Allow(client string, now time.Time) (bool, time.Duration) {
 	return false, wait
 }
 
+// AllowN takes up to want tokens from client's bucket, returning how
+// many it granted (possibly fewer than asked). It backs the quota-lease
+// authority endpoint: a replica leases a batch on a client's behalf and
+// admits from its local cache, so the fleet drains one logical bucket.
+// A zero grant counts as one shed and reports the refill wait.
+func (q *Quota) AllowN(client string, want int, now time.Time) (int, time.Duration) {
+	if q == nil {
+		return want, 0
+	}
+	if want < 1 {
+		want = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.clients[client]
+	if b == nil {
+		if len(q.clients) >= q.maxClients {
+			q.evictOldestLocked()
+		}
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.clients[client] = b
+	} else {
+		if el := now.Sub(b.last).Seconds(); el > 0 {
+			b.tokens += el * q.rate
+			if b.tokens > q.burst {
+				b.tokens = q.burst
+			}
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		granted := int(b.tokens)
+		if granted > want {
+			granted = want
+		}
+		b.tokens -= float64(granted)
+		return granted, 0
+	}
+	q.shed++
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return 0, wait
+}
+
 // evictOldestLocked removes the least-recently-seen bucket; callers
 // hold q.mu and have at least one entry in the table.
 func (q *Quota) evictOldestLocked() {

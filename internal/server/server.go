@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"aqppp"
+	"aqppp/internal/dist"
 )
 
 // Config tunes the server's traffic management. The zero value gets
@@ -60,6 +61,19 @@ type Config struct {
 	QuotaMaxClients int
 	// AccessLog receives one line per request (nil = no access log).
 	AccessLog io.Writer
+	// Replica, when set, marks this server as one shard replica of a
+	// distributed fleet: it serves the internal GET /v1/shard handshake
+	// and POST /v1/partial endpoints over the named slice table.
+	Replica *ReplicaRole
+	// Coordinator, when set, is the fleet this server fronts; /statusz
+	// and /metrics render its topology and per-replica counters. The
+	// query path needs no flag — distributed tables route through the
+	// DB like any other.
+	Coordinator *dist.Coordinator
+	// QuotaLease, when set, replaces the local per-client quota with
+	// leases from the fleet's quota authority, so N processes drain one
+	// logical bucket (see internal/dist.QuotaLease).
+	QuotaLease *dist.QuotaLease
 }
 
 // Server wraps one *aqppp.DB behind the HTTP API. Create with New,

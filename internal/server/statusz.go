@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"aqppp/internal/dist"
 	"aqppp/internal/shard"
 	"aqppp/internal/stats"
 	"aqppp/internal/store"
@@ -139,6 +140,12 @@ type StatuszResponse struct {
 	// Stores lists each disk-backed table's container and block-cache
 	// counters (absent when no table is store-served).
 	Stores []store.Snapshot `json:"stores,omitempty"`
+	// Dist is the coordinator's fleet view — topology generation,
+	// per-replica health and traffic counters (absent off-coordinator).
+	Dist *dist.Snapshot `json:"dist,omitempty"`
+	// QuotaLease is the replica's shared-quota lease state (absent when
+	// quota is local).
+	QuotaLease *dist.LeaseSnapshot `json:"quota_lease,omitempty"`
 }
 
 // snapshot renders the registry for /statusz.

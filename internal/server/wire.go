@@ -14,6 +14,9 @@
 //	POST   /v1/approx          approximate answer via a named prepared handle
 //	POST   /v1/prepare         build and name a prepared handle
 //	DELETE /v1/prepared/{name} forget a prepared handle
+//	GET    /v1/shard           replica handshake (fleet-internal; see dist.go)
+//	POST   /v1/partial         one stratum's distributed partial (fleet-internal)
+//	POST   /v1/quota/lease     shared-quota token lease (fleet-internal)
 //	GET    /healthz            liveness (always 200 while the process serves)
 //	GET    /readyz             readiness (503 once draining)
 //	GET    /statusz            uptime, traffic counters, latency histograms
@@ -85,6 +88,11 @@ type QueryResponse struct {
 	UsedPrecomputed bool        `json:"used_precomputed,omitempty"`
 	Pre             string      `json:"pre,omitempty"`
 	Groups          []GroupJSON `json:"groups,omitempty"`
+	// Partial marks a degraded distributed answer: a replica was lost
+	// and the surviving strata answered with a widened interval (opt-in
+	// via the coordinator's degraded policy). Partial answers are never
+	// cached.
+	Partial bool `json:"partial,omitempty"`
 	// Cached marks an answer served from the response cache (mirrored in
 	// the X-Cache: hit header); ElapsedMS then measures the lookup, not
 	// the original computation.
@@ -136,8 +144,9 @@ type ErrorDetail struct {
 	Kind      string `json:"kind"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id"`
-	// RetryAfterMS accompanies kind "overloaded" and mirrors the
-	// Retry-After header at millisecond resolution.
+	// RetryAfterMS accompanies kind "overloaded", "quota-exceeded", and
+	// "unavailable" failures whose cause was a shedding replica; it
+	// mirrors the Retry-After header at millisecond resolution.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
@@ -148,6 +157,7 @@ type ErrorDetail struct {
 //	unsupported     → 422 Unprocessable Entity
 //	budget-exceeded → 408 Request Timeout
 //	canceled        → 499 Client Closed Request
+//	unavailable     → 503 Service Unavailable
 //	internal        → 500 Internal Server Error
 //
 // (Admission sheds are not taxonomy errors; they respond 429 with
@@ -164,6 +174,8 @@ func statusForKind(k aqppp.ErrorKind) int {
 		return http.StatusRequestTimeout
 	case aqppp.ErrCanceled:
 		return statusClientClosedRequest
+	case aqppp.ErrUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -188,6 +200,7 @@ func approxResponse(id string, res aqppp.Result, elapsed time.Duration) QueryRes
 		Confidence:      &conf,
 		UsedPrecomputed: res.UsedPrecomputed,
 		Pre:             res.Pre,
+		Partial:         res.Partial,
 		ElapsedMS:       toMS(elapsed),
 	}
 	for _, g := range res.Groups {

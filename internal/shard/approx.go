@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"aqppp/internal/aqp"
 	"aqppp/internal/core"
@@ -48,10 +47,6 @@ func Prepare(ctx context.Context, s *Sharded, cfg core.BuildConfig, workers int)
 		conf = 0.95
 	}
 	n := len(s.Shards)
-	perBudget := cfg.CellBudget / n
-	if perBudget < 1 {
-		perBudget = 1
-	}
 	p := &Prepared{
 		S:          s,
 		Procs:      make([]*core.Processor, n),
@@ -63,9 +58,7 @@ func Prepare(ctx context.Context, s *Sharded, cfg core.BuildConfig, workers int)
 		if s.Shards[h].Rows == 0 {
 			return // empty shard: no sample to draw, contributes zero
 		}
-		shCfg := cfg
-		shCfg.CellBudget = perBudget
-		shCfg.Seed = cfg.Seed + uint64(h+1)*seedStride
+		shCfg := PerShardConfig(cfg, h, n)
 		proc, st, err := core.Build(ctx, s.Shards[h].Table, shCfg)
 		if err != nil {
 			errs[h] = fmt.Errorf("shard %d: %w", h, err)
@@ -96,31 +89,12 @@ func (p *Prepared) SampleSize() int {
 	return n
 }
 
-// shardAnswers fans q out to every active shard's processor and
-// collects the per-shard answers (identification runs per cube slice).
-// Pruned and empty shards contribute nothing — for SUM/COUNT their true
-// contribution is exactly zero, so pruning tightens the interval as
-// well as the latency.
-func (p *Prepared) shardAnswers(ctx context.Context, q engine.Query, workers int,
-	answer func(proc *core.Processor) (core.Answer, error)) ([]core.Answer, error) {
-	active := p.activeWithProc(q)
-	answers := make([]core.Answer, len(active))
-	errs := make([]error, len(active))
-	forEach(ctx, workers, len(active), func(k int) {
-		h := active[k]
-		t0 := time.Now()
-		answers[k], errs[k] = answer(p.Procs[h])
-		p.S.recordScan(h, time.Since(t0))
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return answers, nil
+// group builds the shared fan-out/merge engine over this preparation's
+// shards and processors. Pruned and empty shards contribute nothing —
+// for SUM/COUNT their true contribution is exactly zero, so pruning
+// tightens the interval as well as the latency.
+func (p *Prepared) group(workers int) *Group {
+	return p.S.group(p.Procs, p.Confidence, workers)
 }
 
 // activeWithProc is activeShards filtered to shards that hold a
@@ -169,40 +143,8 @@ func mergeAdditive(answers []core.Answer, conf float64) core.Answer {
 // upper bound on the delta-method width since cross-terms are dropped;
 // MIN/MAX fold per-shard exact index answers.
 func (p *Prepared) Answer(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
-	if len(q.GroupBy) > 0 {
-		return core.Answer{}, fmt.Errorf("shard: use AnswerGroups for GROUP BY queries")
-	}
-	switch q.Func {
-	case engine.Sum, engine.Count:
-		answers, err := p.shardAnswers(ctx, q, workers, func(proc *core.Processor) (core.Answer, error) {
-			return proc.Answer(q)
-		})
-		if err != nil {
-			return core.Answer{}, err
-		}
-		return mergeAdditive(answers, p.Confidence), nil
-	case engine.Avg:
-		return p.answerAvg(ctx, q, workers)
-	case engine.Min, engine.Max:
-		return p.answerMinMax(ctx, q, workers)
-	default:
-		return core.Answer{}, fmt.Errorf("shard: %w aggregate %v", core.ErrUnsupported, q.Func)
-	}
-}
-
-func (p *Prepared) answerAvg(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
-	sumQ, cntQ := q, q
-	sumQ.Func = engine.Sum
-	cntQ.Func = engine.Count
-	sumAns, err := p.Answer(ctx, sumQ, workers)
-	if err != nil {
-		return core.Answer{}, err
-	}
-	cntAns, err := p.Answer(ctx, cntQ, workers)
-	if err != nil {
-		return core.Answer{}, err
-	}
-	return ratioAnswer(sumAns, cntAns, p.Confidence), nil
+	a, _, err := p.group(workers).Answer(ctx, q)
+	return a, err
 }
 
 // ratioAnswer forms AVG = SUM/COUNT from two merged answers. The
@@ -226,26 +168,6 @@ func ratioAnswer(sumAns, cntAns core.Answer, conf float64) core.Answer {
 	}
 }
 
-func (p *Prepared) answerMinMax(ctx context.Context, q engine.Query, workers int) (core.Answer, error) {
-	answers, err := p.shardAnswers(ctx, q, workers, func(proc *core.Processor) (core.Answer, error) {
-		return proc.Answer(q)
-	})
-	if err != nil {
-		return core.Answer{}, err
-	}
-	if len(answers) == 0 {
-		return core.Answer{Estimate: aqpEstimate(0, 0, 1, 0), Pre: ident.Pre{Phi: true}}, nil
-	}
-	best := answers[0]
-	for _, a := range answers[1:] {
-		v, bv := a.Estimate.Value, best.Estimate.Value
-		if (q.Func == engine.Min && v < bv) || (q.Func == engine.Max && v > bv) {
-			best = a
-		}
-	}
-	return best, nil
-}
-
 // AnswerGroups answers a GROUP BY query across shards: each shard
 // answers the groups its sample observed, and per-key answers merge
 // with the same stratified composition as scalars. AVG groups merge as
@@ -253,65 +175,8 @@ func (p *Prepared) answerMinMax(ctx context.Context, q engine.Query, workers int
 // key (rows are redistributed across shards, so a global first-seen
 // order does not exist).
 func (p *Prepared) AnswerGroups(ctx context.Context, q engine.Query, workers int) ([]core.GroupAnswer, error) {
-	if len(q.GroupBy) == 0 {
-		return nil, fmt.Errorf("shard: AnswerGroups needs GROUP BY")
-	}
-	switch q.Func {
-	case engine.Sum, engine.Count:
-		perShard, err := p.shardGroupAnswers(ctx, q, workers)
-		if err != nil {
-			return nil, err
-		}
-		return mergeGroupAnswers(perShard, p.Confidence), nil
-	case engine.Avg:
-		sumQ, cntQ := q, q
-		sumQ.Func = engine.Sum
-		cntQ.Func = engine.Count
-		sums, err := p.AnswerGroups(ctx, sumQ, workers)
-		if err != nil {
-			return nil, err
-		}
-		cnts, err := p.AnswerGroups(ctx, cntQ, workers)
-		if err != nil {
-			return nil, err
-		}
-		byKey := make(map[string]core.Answer, len(cnts))
-		for _, g := range cnts {
-			byKey[g.Key] = g.Answer
-		}
-		out := make([]core.GroupAnswer, 0, len(sums))
-		for _, g := range sums {
-			cnt, ok := byKey[g.Key]
-			if !ok || cnt.Estimate.Value == 0 {
-				continue // no mass estimate for the group: no ratio to form
-			}
-			out = append(out, core.GroupAnswer{Key: g.Key, Answer: ratioAnswer(g.Answer, cnt, p.Confidence)})
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("shard: %w GROUP BY aggregate %v", core.ErrUnsupported, q.Func)
-	}
-}
-
-func (p *Prepared) shardGroupAnswers(ctx context.Context, q engine.Query, workers int) ([][]core.GroupAnswer, error) {
-	active := p.activeWithProc(q)
-	perShard := make([][]core.GroupAnswer, len(active))
-	errs := make([]error, len(active))
-	forEach(ctx, workers, len(active), func(k int) {
-		h := active[k]
-		t0 := time.Now()
-		perShard[k], errs[k] = p.Procs[h].AnswerGroups(ctx, q)
-		p.S.recordScan(h, time.Since(t0))
-	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return perShard, nil
+	groups, _, err := p.group(workers).AnswerGroups(ctx, q)
+	return groups, err
 }
 
 // mergeGroupAnswers merges per-shard group answers by key (additive
@@ -342,43 +207,6 @@ func mergeGroupAnswers(perShard [][]core.GroupAnswer, conf float64) []core.Group
 // independent variances: hw = sqrt(Σ hw_h²). Points add exactly like
 // the closed-form path.
 func (p *Prepared) AnswerBootstrap(ctx context.Context, q engine.Query, resamples int, seed uint64, workers int) (core.Answer, error) {
-	if q.Func != engine.Sum && q.Func != engine.Count {
-		return core.Answer{}, fmt.Errorf("shard: AnswerBootstrap supports SUM/COUNT, got %v: %w", q.Func, core.ErrUnsupported)
-	}
-	if len(q.GroupBy) > 0 {
-		return core.Answer{}, fmt.Errorf("shard: AnswerBootstrap does not handle GROUP BY: %w", core.ErrUnsupported)
-	}
-	active := p.activeWithProc(q)
-	answers := make([]core.Answer, len(active))
-	errs := make([]error, len(active))
-	forEach(ctx, workers, len(active), func(k int) {
-		h := active[k]
-		t0 := time.Now()
-		shardSeed := seed + uint64(h+1)*seedStride
-		answers[k], errs[k] = p.Procs[h].AnswerBootstrap(ctx, q, resamples, shardSeed, nil)
-		p.S.recordScan(h, time.Since(t0))
-	})
-	if err := ctx.Err(); err != nil {
-		return core.Answer{}, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return core.Answer{}, err
-		}
-	}
-	merged := core.Answer{Pre: ident.Pre{Phi: true}}
-	hw2 := 0.0
-	for _, a := range answers {
-		merged.Estimate.Value += a.Estimate.Value
-		hw2 += a.Estimate.HalfWidth * a.Estimate.HalfWidth
-		merged.Estimate.SampleRows += a.Estimate.SampleRows
-		merged.Candidates += a.Candidates
-		merged.PreValue += a.PreValue
-		if merged.Pre.IsPhi() && !a.Pre.IsPhi() {
-			merged.Pre = a.Pre
-		}
-	}
-	merged.Estimate.HalfWidth = math.Sqrt(hw2)
-	merged.Estimate.Confidence = p.Confidence
-	return merged, nil
+	a, _, err := p.group(workers).AnswerBootstrap(ctx, q, resamples, seed)
+	return a, err
 }

@@ -3,8 +3,8 @@ package shard
 import (
 	"context"
 	"sort"
-	"time"
 
+	"aqppp/internal/core"
 	"aqppp/internal/engine"
 )
 
@@ -33,36 +33,29 @@ func (s *Sharded) ExecuteContext(ctx context.Context, q engine.Query, workers in
 	if err := s.validate(q); err != nil {
 		return engine.Result{}, err
 	}
-	active := s.activeShards(q.Ranges)
-	partials := make([]engine.PartialResult, len(active))
-	errs := make([]error, len(active))
-	forEach(ctx, workers, len(active), func(k int) {
-		h := active[k]
-		t0 := time.Now()
-		pr, err := s.Shards[h].Table.ExecutePartialContext(ctx, q)
-		s.recordScan(h, time.Since(t0))
-		partials[k], errs[k] = pr, err
-	})
-	if err := ctx.Err(); err != nil {
-		return engine.Result{}, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return engine.Result{}, err
+	return s.group(nil, 0, workers).Exact(ctx, q)
+}
+
+// group builds the fan-out/merge engine over the in-process shards.
+// procs, when non-nil, is index-aligned with Shards (a Prepared's
+// per-shard processors); conf is the CI level for approximate merges.
+func (s *Sharded) group(procs []*core.Processor, conf float64, workers int) *Group {
+	execs := make([]Executor, len(s.Shards))
+	for h := range s.Shards {
+		var proc *core.Processor
+		if procs != nil {
+			proc = procs[h]
 		}
+		execs[h] = Local{Shard: s.Shards[h], Proc: proc}
 	}
-	if len(q.GroupBy) == 0 {
-		var total engine.Partial
-		for k := range partials {
-			total.Merge(partials[k].Scalar)
-		}
-		v, err := total.Finish(q.Func)
-		if err != nil {
-			return engine.Result{}, err
-		}
-		return engine.Result{Value: v}, nil
+	return &Group{
+		Layout:     s.Layout,
+		Confidence: conf,
+		Execs:      execs,
+		Workers:    workers,
+		Observe:    s.recordScan,
+		OnPrune:    func(int) { s.pruned.Add(1) },
 	}
-	return mergeGroups(partials, q.Func)
 }
 
 // validate resolves every column the query names against the shard

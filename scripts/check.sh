@@ -52,9 +52,12 @@ else
     # require a clean drain (exit 0). Gated behind the env var so
     # `go test ./...` above stays fast; CI runs it on one matrix leg only.
     # The restart leg saves a store container, restarts from -data alone,
-    # and requires identical answers with no rebuild.
+    # and requires identical answers with no rebuild. The fleet leg runs
+    # two replica processes plus a coordinator against a single-process
+    # sharded oracle: answers must match bit for bit, and killing a
+    # replica must shed 503 "unavailable" instead of a silent partial sum.
     AQPPP_SERVER_SMOKE=1 go test -race -count=1 \
-        -run 'TestServeBinarySmoke|TestServeStoreRestartSmoke' ./cmd/aqppp-serve
+        -run 'TestServeBinarySmoke|TestServeStoreRestartSmoke|TestServeFleetSmoke' ./cmd/aqppp-serve
 fi
 
 echo "==> engine bench smoke (benchtime 1x)"
