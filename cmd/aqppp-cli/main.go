@@ -13,10 +13,18 @@
 //	SELECT ...;          answer approximately with AQP++
 //	.aqp SELECT ...;     answer with plain AQP (same sample)
 //	.exact SELECT ...;   answer exactly (full scan)
+//	.progress SELECT ...; stream refining estimates (online aggregation)
 //	.stats               preprocessing statistics
 //	.schema              table schema
 //	.help                this help
 //	.quit
+//
+// With -max-rel-error and/or -max-abs-error set, default-mode
+// statements answer under an a-priori error contract: the planner
+// picks the cheapest strategy that provably meets the bound and the
+// shell prints which one served; an unreachable bound fails with kind
+// contract-infeasible (exit code 2 under -e) unless -allow-exact
+// permits escalation to a full scan.
 //
 // With -e the shell is skipped: the semicolon-separated statements run
 // in order (".exact"/".aqp" prefixes work as in the shell) and the
@@ -92,7 +100,7 @@ func exitCode(err error) int {
 		return 0
 	}
 	switch aqppp.ErrorKindOf(err) {
-	case aqppp.ErrParse, aqppp.ErrUnsupported, aqppp.ErrUnknownTable:
+	case aqppp.ErrParse, aqppp.ErrUnsupported, aqppp.ErrUnknownTable, aqppp.ErrContractInfeasible:
 		return 2
 	case aqppp.ErrBudgetExceeded, aqppp.ErrCanceled:
 		return 3
@@ -113,6 +121,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	withMinMax := flag.Bool("minmax", false, "also build exact MIN/MAX indexes")
 	timeout := flag.Duration("timeout", 0, "per-statement wall-time bound (0 = unlimited)")
+	maxRel := flag.Float64("max-rel-error", 0, "error contract: max relative half-width, e.g. 0.01 = ±1% (0 = none)")
+	maxAbs := flag.Float64("max-abs-error", 0, "error contract: max absolute half-width (0 = none)")
+	contractConf := flag.Float64("contract-confidence", 0, "CI level the contract holds at (0 = 0.95)")
+	allowExact := flag.Bool("allow-exact", false, "permit contract escalation to a full exact scan")
 	script := flag.String("e", "", "run semicolon-separated statements non-interactively and exit")
 	flag.Parse()
 
@@ -152,6 +164,14 @@ func main() {
 	session := repl.NewSession(db, tbl, prep)
 	session.Timeout = *timeout
 	session.NewContext = it.NewContext
+	if *maxRel > 0 || *maxAbs > 0 {
+		session.Contract = &aqppp.Contract{
+			MaxRelError: *maxRel,
+			MaxAbsError: *maxAbs,
+			Confidence:  *contractConf,
+			AllowExact:  *allowExact,
+		}
+	}
 	if *script != "" {
 		if err := session.RunScript(*script, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -478,6 +478,225 @@ func TestServeStoreRestartSmoke(t *testing.T) {
 	stop(cmd2)
 }
 
+// TestServeContractSmoke is the error-contract leg of the binary smoke:
+// a feasible contract must answer 200 inside its own stated bound, an
+// impossible one must be rejected 422 with the tightest achievable
+// error in the body (no scan work spent), /v1/progressive must stream
+// well-formed SSE rounds ending in a terminal "done" event, and a
+// client that walks away mid-stream must surface as a "canceled" error
+// in /metrics alongside the contract counters.
+func TestServeContractSmoke(t *testing.T) {
+	if os.Getenv("AQPPP_SERVER_SMOKE") == "" {
+		t.Skip("set AQPPP_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "aqppp-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin,
+		"-demo", "tpcd", "-rows", "5000", "-seed", "9",
+		"-addr", "127.0.0.1:0",
+		"-agg", "l_extendedprice", "-dims", "l_orderkey,l_suppkey",
+		"-sample-rate", "0.2", "-k", "500",
+		"-drain-timeout", "10s", "-quiet",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+	got := make(chan string, 1)
+	go func() {
+		lines := bufio.NewScanner(stdout)
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+				got <- rest
+				return
+			}
+		}
+		got <- ""
+	}()
+	var addr string
+	select {
+	case addr = <-got:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+	if addr == "" {
+		t.Fatal("no listening line on stdout")
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any) (int, map[string]any) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	type contractReq struct {
+		SQL         string  `json:"sql"`
+		Prepared    string  `json:"prepared"`
+		MaxRelError float64 `json:"max_rel_error,omitempty"`
+		StepRows    int     `json:"step_rows,omitempty"`
+		MaxRounds   int     `json:"max_rounds,omitempty"`
+	}
+	stmt := "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey BETWEEN 100 AND 4000"
+
+	// A feasible contract answers within its own bound. COUNT over the
+	// Zipf head (keys 1-10 hold ~94% of the rows) is the stable query at
+	// this sample rate; the heavy-tailed SUM over the sparse key tail is
+	// what the infeasible leg below rejects.
+	countStmt := "SELECT COUNT(*) FROM lineitem WHERE l_orderkey BETWEEN 1 AND 10"
+	code, body := post("/v1/contract", contractReq{Prepared: "default", SQL: countStmt, MaxRelError: 0.2})
+	if code != http.StatusOK {
+		t.Fatalf("contract = %d (%v)", code, body)
+	}
+	val, _ := body["value"].(float64)
+	hw, _ := body["half_width"].(float64)
+	if val == 0 || hw > 0.2*val {
+		t.Errorf("contract answer outside its bound: %v ± %v", val, hw)
+	}
+	if strat, _ := body["strategy"].(string); strat == "" {
+		t.Errorf("contract answer carries no strategy: %v", body)
+	}
+
+	// An impossible bound is rejected 422 with retry guidance.
+	code, body = post("/v1/contract", contractReq{Prepared: "default", SQL: stmt, MaxRelError: 1e-10})
+	if code != 422 {
+		t.Fatalf("impossible contract = %d (%v), want 422", code, body)
+	}
+	e, _ := body["error"].(map[string]any)
+	if k, _ := e["kind"].(string); k != "contract-infeasible" {
+		t.Errorf("rejection kind = %q, want contract-infeasible", k)
+	}
+	ta, _ := e["tightest_achievable"].(map[string]any)
+	if abs, _ := ta["abs"].(float64); abs <= 0 {
+		t.Errorf("422 body missing positive tightest_achievable.abs: %v", body)
+	}
+
+	// The progressive stream frames as SSE and terminates with "done".
+	raw, err := json.Marshal(contractReq{Prepared: "default", SQL: stmt, MaxRelError: 0.2, StepRows: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/progressive", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		t.Fatalf("progressive = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("progressive Content-Type = %q, want text/event-stream", ct)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(stream)
+	if !strings.Contains(text, "event: round\n") {
+		t.Errorf("stream has no round events:\n%s", text)
+	}
+	// The final event must be a well-formed done carrying a stop reason.
+	idx := strings.LastIndex(text, "event: done\ndata: ")
+	if idx < 0 {
+		t.Fatalf("stream has no done event:\n%s", text)
+	}
+	doneLine := text[idx+len("event: done\ndata: "):]
+	doneLine = strings.TrimRight(doneLine, "\n")
+	var done map[string]any
+	if err := json.Unmarshal([]byte(doneLine), &done); err != nil {
+		t.Fatalf("done event is not JSON (%q): %v", doneLine, err)
+	}
+	if r, _ := done["reason"].(string); r == "" {
+		t.Errorf("done event missing reason: %v", done)
+	}
+	if _, ok := done["value"].(float64); !ok {
+		t.Errorf("done event missing value: %v", done)
+	}
+
+	// A client that disconnects mid-stream must be counted as canceled.
+	raw, err = json.Marshal(contractReq{Prepared: "default", SQL: stmt, StepRows: 64, MaxRounds: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/progressive", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 64)
+	if _, err := resp.Body.Read(one); err != nil {
+		t.Fatalf("never saw the first streamed byte: %v", err)
+	}
+	_ = resp.Body.Close() // walk away mid-stream
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mresp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		mdata, err := io.ReadAll(mresp.Body)
+		_ = mresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics := string(mdata)
+		if strings.Contains(metrics, `aqppp_errors_total{kind="canceled"}`) {
+			for _, series := range []string{
+				"aqppp_contract_met_total", "aqppp_contract_infeasible_total",
+				"aqppp_progressive_round_duration_seconds_bucket",
+			} {
+				if !strings.Contains(metrics, series) {
+					t.Errorf("/metrics missing %s", series)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mid-stream disconnect never surfaced as canceled in /metrics")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Clean SIGTERM drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- cmd.Wait() }()
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Errorf("drain exit: %v (want status 0)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
 // TestServeFleetSmoke is the multi-process distributed smoke: two real
 // replica processes each owning one range slice of the demo table, a
 // coordinator process that dials them and fronts /v1/query, and a

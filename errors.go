@@ -33,6 +33,12 @@ const (
 	// replica (unreachable, timed out, or shedding) with no degraded
 	// answer permitted. Its wire-stable String form is "unavailable".
 	ErrUnavailable = exec.Unavailable
+	// ErrContractInfeasible marks contract queries whose error bound no
+	// permitted strategy can meet — at plan time (predicted) or after
+	// the escalation ladder ran dry (realized). The cause is a
+	// *ContractInfeasibleError carrying the tightest achievable
+	// half-width; its wire-stable String form is "contract-infeasible".
+	ErrContractInfeasible = exec.ContractInfeasible
 )
 
 // ErrorKindOf extracts the kind from an error returned by this package;
@@ -40,7 +46,7 @@ const (
 //
 // The kinds are designed to be a wire-stable contract: ErrorKind's
 // String form ("parse", "unknown-table", "unsupported", "canceled",
-// "budget-exceeded", "internal") is what internal/server emits in its
+// "budget-exceeded", "contract-infeasible", "internal") is what internal/server emits in its
 // JSON error bodies and what cmd/aqppp-cli folds into exit codes, so
 // renaming a kind is a breaking API change.
 func ErrorKindOf(err error) ErrorKind { return exec.KindOf(err) }

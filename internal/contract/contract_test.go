@@ -1,0 +1,328 @@
+package contract
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"aqppp/internal/core"
+	"aqppp/internal/cube"
+	"aqppp/internal/engine"
+	"aqppp/internal/stats"
+)
+
+func contractTable(n int, seed uint64) *engine.Table {
+	r := stats.NewRNG(seed)
+	k := make([]int64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = int64(r.Intn(200) + 1)
+		v[i] = 10 + 0.3*float64(k[i]) + 5*r.NormFloat64()
+	}
+	return engine.MustNewTable("t",
+		engine.NewIntColumn("k", k),
+		engine.NewFloatColumn("v", v),
+	)
+}
+
+func contractProcessor(t *testing.T, tbl *engine.Table) *core.Processor {
+	t.Helper()
+	proc, _, err := core.Build(context.Background(), tbl, core.BuildConfig{
+		Template:   cube.Template{Agg: "v", Dims: []string{"k"}},
+		SampleRate: 0.2, CellBudget: 64, Seed: 3,
+		WithCountCube: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc
+}
+
+func sumQ(lo, hi float64) engine.Query {
+	return engine.Query{Func: engine.Sum, Col: "v",
+		Ranges: []engine.Range{{Col: "k", Lo: lo, Hi: hi}}}
+}
+
+func TestContractValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Contract
+		ok   bool
+	}{
+		{"rel only", Contract{MaxRelError: 0.05}, true},
+		{"abs only", Contract{MaxAbsError: 100}, true},
+		{"both", Contract{MaxRelError: 0.05, MaxAbsError: 100}, true},
+		{"no bound", Contract{}, false},
+		{"negative rel", Contract{MaxRelError: -1}, false},
+		{"negative abs", Contract{MaxAbsError: -1}, false},
+		{"conf too high", Contract{MaxRelError: 0.05, Confidence: 1}, false},
+		{"conf negative", Contract{MaxRelError: 0.05, Confidence: -0.5}, false},
+		{"conf ok", Contract{MaxRelError: 0.05, Confidence: 0.99}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestContractMet(t *testing.T) {
+	c := Contract{MaxRelError: 0.01, MaxAbsError: 50}
+	if !c.Met(10000, 40) {
+		t.Error("hw 40 on 10000 meets rel 1% and abs 50, reported unmet")
+	}
+	if c.Met(10000, 60) {
+		t.Error("hw 60 violates abs 50, reported met")
+	}
+	if c.Met(1000, 40) {
+		t.Error("hw 40 on 1000 violates rel 1%, reported met")
+	}
+	// A relative bound around zero only admits a zero-width interval.
+	zero := Contract{MaxRelError: 0.01}
+	if zero.Met(0, 1e-9) {
+		t.Error("nonzero hw around zero value met a relative bound")
+	}
+	if !zero.Met(0, 0) {
+		t.Error("zero hw around zero value missed a relative bound")
+	}
+}
+
+func TestTargetAbs(t *testing.T) {
+	c := Contract{MaxRelError: 0.01, MaxAbsError: 50}
+	if got := c.TargetAbs(10000); got != 50 {
+		t.Errorf("TargetAbs(10000) = %v, want abs bound 50", got)
+	}
+	if got := c.TargetAbs(100); got != 1 {
+		t.Errorf("TargetAbs(100) = %v, want rel bound 1", got)
+	}
+	if got := (Contract{MaxRelError: 0.01}).TargetAbs(0); got != 0 {
+		t.Errorf("rel-only TargetAbs(0) = %v, want 0 (unreachable)", got)
+	}
+}
+
+func TestContractKeyDistinct(t *testing.T) {
+	keys := map[string]Contract{}
+	for _, c := range []Contract{
+		{MaxRelError: 0.01},
+		{MaxRelError: 0.05},
+		{MaxAbsError: 0.01},
+		{MaxRelError: 0.01, Confidence: 0.99},
+		{MaxRelError: 0.01, AllowExact: true},
+		{MaxRelError: 0.01, Confidence: 0.95}, // same as default-confidence rel 0.01? no: explicit 0.95 == default
+	} {
+		keys[c.Key()] = c
+	}
+	if len(keys) != 5 {
+		t.Errorf("got %d distinct keys, want 5 (explicit 0.95 must collide with the default)", len(keys))
+	}
+	if (Contract{MaxRelError: 0.01}).Key() != (Contract{MaxRelError: 0.01, Confidence: 0.95}).Key() {
+		t.Error("default confidence and explicit 0.95 produced different keys")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyCube: "cube", StrategyApprox: "approx",
+		StrategyBootstrap: "bootstrap", StrategyExact: "exact",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q (wire-stable)", s, s.String(), w)
+		}
+	}
+}
+
+func TestLadderShapes(t *testing.T) {
+	d := Decision{Strategy: StrategyApprox, SampleRows: 500}
+	rungs := d.Ladder(1000, false)
+	want := []Rung{{StrategyApprox, 500}, {StrategyApprox, 1000}, {StrategyBootstrap, 1000}}
+	if len(rungs) != len(want) {
+		t.Fatalf("approx ladder = %v, want %v", rungs, want)
+	}
+	for i := range want {
+		if rungs[i] != want[i] {
+			t.Errorf("rung %d = %v, want %v", i, rungs[i], want[i])
+		}
+	}
+	// Full-sample approx decisions skip the redundant middle rung.
+	rungs = Decision{Strategy: StrategyApprox, SampleRows: 1000}.Ladder(1000, false)
+	if len(rungs) != 2 {
+		t.Errorf("full-sample approx ladder has %d rungs, want 2", len(rungs))
+	}
+	// AllowExact appends exactly one exact rung.
+	rungs = Decision{Strategy: StrategyCube}.Ladder(1000, true)
+	if rungs[len(rungs)-1].Strategy != StrategyExact {
+		t.Errorf("allowExact ladder does not end exact: %v", rungs)
+	}
+	// Exact decisions are a single rung — never preceded by cheaper work.
+	rungs = Decision{Strategy: StrategyExact}.Ladder(1000, true)
+	if len(rungs) != 1 || rungs[0].Strategy != StrategyExact {
+		t.Errorf("exact ladder = %v, want single exact rung", rungs)
+	}
+}
+
+func TestDecideLooseBound(t *testing.T) {
+	tbl := contractTable(20000, 11)
+	proc := contractProcessor(t, tbl)
+	q := sumQ(50, 150)
+	d, err := Decide(proc, q, Contract{MaxRelError: 0.5})
+	if err != nil {
+		t.Fatalf("loose contract rejected: %v", err)
+	}
+	if d.Strategy != StrategyApprox && d.Strategy != StrategyCube {
+		t.Errorf("loose contract chose %v, want a sampling strategy", d.Strategy)
+	}
+	if d.Strategy == StrategyApprox {
+		if d.SampleRows < minAnswerRows || d.SampleRows > proc.Sample.Size() {
+			t.Errorf("SampleRows = %d outside [%d, %d]", d.SampleRows, minAnswerRows, proc.Sample.Size())
+		}
+		if d.PredictedHalfWidth <= 0 {
+			t.Errorf("approx decision with no predicted half-width: %+v", d)
+		}
+	}
+	// A looser bound must never need more rows than a tighter one.
+	tight, err := Decide(proc, q, Contract{MaxRelError: 0.05})
+	if err == nil && tight.Strategy == StrategyApprox && d.Strategy == StrategyApprox {
+		if d.SampleRows > tight.SampleRows {
+			t.Errorf("loose bound wants %d rows, tight bound %d — inversion not monotone",
+				d.SampleRows, tight.SampleRows)
+		}
+	}
+}
+
+func TestDecideInfeasible(t *testing.T) {
+	tbl := contractTable(20000, 12)
+	proc := contractProcessor(t, tbl)
+	q := sumQ(50, 150)
+	_, err := Decide(proc, q, Contract{MaxRelError: 1e-9})
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("impossible bound accepted (err = %v)", err)
+	}
+	if inf.TightestAbs <= 0 || math.IsInf(inf.TightestAbs, 1) {
+		t.Errorf("TightestAbs = %v, want finite positive (a sampling estimator exists)", inf.TightestAbs)
+	}
+	if !strings.HasPrefix(inf.Reason, "planner:") {
+		t.Errorf("Reason = %q, want planner-stage rejection", inf.Reason)
+	}
+	// The same bound with AllowExact plans an exact scan instead.
+	d, err := Decide(proc, q, Contract{MaxRelError: 1e-9, AllowExact: true})
+	if err != nil || d.Strategy != StrategyExact {
+		t.Errorf("AllowExact: got (%v, %v), want exact strategy", d.Strategy, err)
+	}
+}
+
+func TestDecideMinMaxNoEstimator(t *testing.T) {
+	tbl := contractTable(5000, 13)
+	proc := contractProcessor(t, tbl) // no MinMax index
+	q := engine.Query{Func: engine.Min, Col: "v"}
+	_, err := Decide(proc, q, Contract{MaxRelError: 0.1})
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("MIN with no extrema index accepted (err = %v)", err)
+	}
+	if !math.IsInf(inf.TightestAbs, 1) {
+		t.Errorf("TightestAbs = %v, want +Inf (no sampling estimator)", inf.TightestAbs)
+	}
+	d, err := Decide(proc, q, Contract{MaxRelError: 0.1, AllowExact: true})
+	if err != nil || d.Strategy != StrategyExact {
+		t.Errorf("AllowExact MIN: got (%v, %v), want exact", d.Strategy, err)
+	}
+}
+
+func TestDecideGroupByUnsupported(t *testing.T) {
+	tbl := contractTable(5000, 14)
+	proc := contractProcessor(t, tbl)
+	q := sumQ(50, 150)
+	q.GroupBy = []string{"k"}
+	_, err := Decide(proc, q, Contract{MaxRelError: 0.1})
+	if !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("GROUP BY contract: err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestAnswerAtSubsample(t *testing.T) {
+	tbl := contractTable(20000, 15)
+	proc := contractProcessor(t, tbl)
+	q := sumQ(20, 180)
+	full, err := AnswerAt(proc, q, 0, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := AnswerAt(proc, q, proc.Sample.Size()/2, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same estimator on fewer rows: the interval cannot tighten by more
+	// than noise, and the estimate must stay in the same ballpark.
+	if half.Estimate.HalfWidth < full.Estimate.HalfWidth*0.5 {
+		t.Errorf("half-sample hw %v implausibly tighter than full-sample hw %v",
+			half.Estimate.HalfWidth, full.Estimate.HalfWidth)
+	}
+	if full.Estimate.Value == 0 || math.Abs(half.Estimate.Value-full.Estimate.Value) > 0.5*math.Abs(full.Estimate.Value) {
+		t.Errorf("half-sample value %v too far from full-sample value %v",
+			half.Estimate.Value, full.Estimate.Value)
+	}
+	// rows >= size answers identically to the plain processor.
+	same, err := AnswerAt(proc, q, proc.Sample.Size(), 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Estimate.Value != full.Estimate.Value || same.Estimate.HalfWidth != full.Estimate.HalfWidth {
+		t.Error("rows == sample size did not answer on the whole sample")
+	}
+}
+
+// TestDecideHonorsPrediction is the randomized planner-honesty test:
+// across seeded workloads and all three sampling aggregate families,
+// every accepted decision's predicted interval must actually satisfy
+// the contract's target, and every rejection must carry a usable
+// tightest-achievable bound — the planner never accepts a contract it
+// cannot defend or rejects one without saying how close it could get.
+func TestDecideHonorsPrediction(t *testing.T) {
+	tbl := contractTable(30000, 21)
+	proc := contractProcessor(t, tbl)
+	r := stats.NewRNG(99)
+	funcs := []engine.AggFunc{engine.Sum, engine.Count, engine.Avg}
+	accepted, rejected := 0, 0
+	for i := 0; i < 60; i++ {
+		lo := float64(r.Intn(150) + 1)
+		hi := lo + float64(r.Intn(50)+5)
+		q := engine.Query{Func: funcs[i%len(funcs)], Col: "v",
+			Ranges: []engine.Range{{Col: "k", Lo: lo, Hi: hi}}}
+		c := Contract{MaxRelError: []float64{0.5, 0.1, 0.02, 1e-8}[r.Intn(4)]}
+		d, err := Decide(proc, q, c)
+		if err != nil {
+			var inf *InfeasibleError
+			if !errors.As(err, &inf) {
+				t.Fatalf("query %v contract %+v: unexpected error %v", q, c, err)
+			}
+			if inf.TightestAbs < 0 {
+				t.Errorf("rejection carries negative TightestAbs %v", inf.TightestAbs)
+			}
+			rejected++
+			continue
+		}
+		accepted++
+		if d.Strategy == StrategyApprox {
+			// The inversion's promise: predicted hw at SampleRows is
+			// within the target computed from the pilot's own magnitude.
+			magnitude := math.Abs(d.PilotValue) - d.PilotHalfWidth
+			if magnitude < 0 {
+				magnitude = 0
+			}
+			if eps := c.TargetAbs(magnitude); d.PredictedHalfWidth > eps*1.0001 {
+				t.Errorf("query %v: predicted hw %v exceeds target %v at %d rows",
+					q, d.PredictedHalfWidth, eps, d.SampleRows)
+			}
+		}
+		if d.Strategy == StrategyExact {
+			t.Errorf("query %v: exact strategy chosen without AllowExact", q)
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("workload too one-sided: %d accepted, %d rejected — tune bounds", accepted, rejected)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 
+	"aqppp/internal/contract"
 	"aqppp/internal/core"
 )
 
@@ -47,6 +48,11 @@ const (
 	// the replica was unreachable, timed out, or shed the partial request,
 	// and the degraded-answer policy (if any) could not absorb the loss.
 	Unavailable
+	// ContractInfeasible marks contract queries no permitted strategy
+	// can provably answer within the contracted error bound; the
+	// wrapped *contract.InfeasibleError carries the tightest achievable
+	// bound. Rejected at plan time, before any scan work.
+	ContractInfeasible
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +70,8 @@ func (k Kind) String() string {
 		return "budget-exceeded"
 	case Unavailable:
 		return "unavailable"
+	case ContractInfeasible:
+		return "contract-infeasible"
 	default:
 		return "internal"
 	}
@@ -122,6 +130,10 @@ func classify(parent, run context.Context, op string, budgeted bool, err error) 
 	}
 	if errors.Is(err, core.ErrUnsupported) {
 		return &Error{Kind: Unsupported, Op: op, Err: err}
+	}
+	var inf *contract.InfeasibleError
+	if errors.As(err, &inf) {
+		return &Error{Kind: ContractInfeasible, Op: op, Err: err}
 	}
 	return &Error{Kind: Internal, Op: op, Err: err}
 }

@@ -43,6 +43,12 @@ type Outcome struct {
 	// answer was extrapolated from surviving strata with a widened
 	// interval. Partial outcomes must never be cached.
 	Partial bool
+	// ContractStrategy names the ladder rung that answered a
+	// PlanContract plan ("cube", "approx", "bootstrap", "exact");
+	// ContractEscalated reports that the planner's first choice missed
+	// the bound and a costlier rung answered instead.
+	ContractStrategy  string
+	ContractEscalated bool
 }
 
 // Executor runs Plans. It is safe for concurrent use; scratch buffers
@@ -217,6 +223,9 @@ func (ex *Executor) dispatch(ctx context.Context, p *Plan, b Budget) (Outcome, e
 			return Outcome{}, err
 		}
 		return Outcome{Answer: ans}, nil
+
+	case PlanContract:
+		return ex.dispatchContract(ctx, p, b)
 
 	case PlanMulti:
 		t := p.Mgr.Route(p.Query)

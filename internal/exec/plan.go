@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"aqppp/internal/contract"
 	"aqppp/internal/core"
 	"aqppp/internal/engine"
 	"aqppp/internal/shard"
@@ -26,6 +28,11 @@ const (
 	PlanBootstrap
 	// PlanMulti routes the query across a multi-template manager.
 	PlanMulti
+	// PlanContract answers under an a-priori error contract: the
+	// planner's Decision names the cheapest strategy predicted to meet
+	// the bound, and the executor runs the escalation ladder until a
+	// rung's realized interval does.
+	PlanContract
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +46,8 @@ func (k PlanKind) String() string {
 		return "bootstrap"
 	case PlanMulti:
 		return "multi"
+	case PlanContract:
+		return "contract"
 	default:
 		return fmt.Sprintf("PlanKind(%d)", uint8(k))
 	}
@@ -79,6 +88,12 @@ type Plan struct {
 	// DistHandle names the prepared handle every replica answers
 	// Dist-routed approx/bootstrap plans through.
 	DistHandle string
+	// Contract is the a-priori error bound of a PlanContract plan, and
+	// Decision the planner's strategy choice for it (computed at plan
+	// time from prepared state, so infeasible contracts never reach the
+	// executor).
+	Contract *contract.Contract
+	Decision contract.Decision
 }
 
 // CacheKey renders the plan as a canonical string suitable for keying a
@@ -119,6 +134,13 @@ func (p *Plan) CacheKey() string {
 	}
 	if p.Kind == PlanBootstrap {
 		fmt.Fprintf(&b, "|n=%d|seed=%d", p.Resamples, p.Seed)
+	}
+	// The contract folds in whole: two requests with different bounds
+	// (or escalation policies) may answer through different strategies,
+	// so their answers cache independently.
+	if p.Contract != nil {
+		b.WriteString("|contract=")
+		b.WriteString(p.Contract.Key())
 	}
 	// The shard layout folds into the key: merged float aggregates
 	// reassociate differently across layouts, and per-shard samples
@@ -222,6 +244,37 @@ func PlanShardedBootstrapStatement(sp *shard.Prepared, tbl *engine.Table, statem
 	return &Plan{Kind: PlanBootstrap, Table: tbl, Query: q, ShardPrep: sp, Resamples: resamples, Seed: seed}, nil
 }
 
+// PlanContractStatement compiles a statement against a prepared
+// processor's table into a contract plan: the contract planner runs
+// here, at plan time, so an infeasible contract fails fast (kind
+// ContractInfeasible) before any cache, gate, or scan work.
+func PlanContractStatement(proc *core.Processor, tbl *engine.Table, statement string, c contract.Contract, seed uint64) (*Plan, error) {
+	q, err := compileFor("contract", tbl, statement)
+	if err != nil {
+		return nil, err
+	}
+	return PlanContractStruct(proc, tbl, q, c, seed)
+}
+
+// PlanContractStruct wraps an already-compiled engine.Query into a
+// contract plan (the advanced-use path that skips SQL).
+func PlanContractStruct(proc *core.Processor, tbl *engine.Table, q engine.Query, c contract.Contract, seed uint64) (*Plan, error) {
+	d, err := contract.Decide(proc, q, c)
+	if err != nil {
+		var inf *contract.InfeasibleError
+		if errors.As(err, &inf) {
+			return nil, &Error{Kind: ContractInfeasible, Op: "contract", Err: err}
+		}
+		if errors.Is(err, core.ErrUnsupported) {
+			return nil, &Error{Kind: Unsupported, Op: "contract", Err: err}
+		}
+		return nil, &Error{Kind: Parse, Op: "contract", Err: err}
+	}
+	cc := c
+	return &Plan{Kind: PlanContract, Table: tbl, Query: q, Proc: proc,
+		Contract: &cc, Decision: d, Seed: seed}, nil
+}
+
 // PlanMultiStatement compiles a statement into a multi-template plan.
 func PlanMultiStatement(mgr *core.Manager, tbl *engine.Table, statement string) (*Plan, error) {
 	q, err := compileFor("multi", tbl, statement)
@@ -229,6 +282,14 @@ func PlanMultiStatement(mgr *core.Manager, tbl *engine.Table, statement string) 
 		return nil, err
 	}
 	return &Plan{Kind: PlanMulti, Table: tbl, Query: q, Mgr: mgr}, nil
+}
+
+// CompileStatement parses and compiles a statement against a single
+// known table with the executor's error classification. Exported for
+// the root progressive path, which streams rounds outside the Plan IR
+// but must classify compile failures identically.
+func CompileStatement(tbl *engine.Table, op, statement string) (engine.Query, error) {
+	return compileFor(op, tbl, statement)
 }
 
 // compileFor parses and compiles a statement against a single known

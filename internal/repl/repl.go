@@ -33,6 +33,11 @@ type Session struct {
 	// session holds a factory rather than a context so every statement
 	// gets a fresh one.
 	NewContext func() (context.Context, context.CancelFunc)
+	// Contract, when set, answers default-mode statements under an
+	// a-priori error bound (QueryWithContract) instead of plain AQP++,
+	// printing which strategy served; ".progress" streams also
+	// terminate once the contract is met.
+	Contract *aqppp.Contract
 }
 
 // NewSession wraps an already-prepared database.
@@ -89,6 +94,8 @@ func (s *Session) HandleLine(line string, w io.Writer) bool {
 		printErr(w, s.runExact(w, strings.TrimPrefix(line, ".exact ")))
 	case strings.HasPrefix(line, ".aqp "):
 		printErr(w, s.runAQP(w, strings.TrimPrefix(line, ".aqp ")))
+	case strings.HasPrefix(line, ".progress "):
+		printErr(w, s.runProgressive(w, strings.TrimPrefix(line, ".progress ")))
 	case strings.HasPrefix(line, "."):
 		fmt.Fprintf(w, "unknown command %q; try .help\n", line)
 	default:
@@ -124,6 +131,8 @@ func (s *Session) RunScript(script string, w io.Writer) error {
 			err = s.runExact(w, strings.TrimPrefix(stmt, ".exact "))
 		case strings.HasPrefix(stmt, ".aqp "):
 			err = s.runAQP(w, strings.TrimPrefix(stmt, ".aqp "))
+		case strings.HasPrefix(stmt, ".progress "):
+			err = s.runProgressive(w, strings.TrimPrefix(stmt, ".progress "))
 		case strings.HasPrefix(stmt, "."):
 			err = fmt.Errorf("unknown command %q", stmt)
 		default:
@@ -136,11 +145,12 @@ func (s *Session) RunScript(script string, w io.Writer) error {
 	return nil
 }
 
-const helpText = "SELECT ...;        approximate answer (AQP++)\n" +
-	".aqp SELECT ...;   plain AQP on the same sample\n" +
-	".exact SELECT ...; exact full scan\n" +
-	".stats             preprocessing statistics\n" +
-	".schema            table schema\n" +
+const helpText = "SELECT ...;            approximate answer (AQP++; honors -max-rel/abs-error)\n" +
+	".aqp SELECT ...;       plain AQP on the same sample\n" +
+	".exact SELECT ...;     exact full scan\n" +
+	".progress SELECT ...;  stream refining estimates (online aggregation)\n" +
+	".stats                 preprocessing statistics\n" +
+	".schema                table schema\n" +
 	".quit"
 
 func (s *Session) printSchema(w io.Writer) {
@@ -157,6 +167,9 @@ func (s *Session) printStats(w io.Writer) {
 }
 
 func (s *Session) runApprox(w io.Writer, stmt string) error {
+	if s.Contract != nil {
+		return s.runContract(w, stmt)
+	}
 	ctx, cancel := s.statementContext()
 	defer cancel()
 	t0 := time.Now()
@@ -174,6 +187,43 @@ func (s *Session) runApprox(w io.Writer, stmt string) error {
 	}
 	fmt.Fprintf(w, "  %14.2f ± %.2f (%.0f%% CI)  pre=%s  [%v]\n",
 		res.Value, res.HalfWidth, 100*res.Confidence, res.Pre, el.Round(time.Microsecond))
+	return nil
+}
+
+func (s *Session) runContract(w io.Writer, stmt string) error {
+	ctx, cancel := s.statementContext()
+	defer cancel()
+	t0 := time.Now()
+	res, err := s.Prepared.QueryWithContract(ctx, stmt, *s.Contract)
+	el := time.Since(t0)
+	if err != nil {
+		return err
+	}
+	esc := ""
+	if res.Escalated {
+		esc = ", escalated"
+	}
+	fmt.Fprintf(w, "  %14.2f ± %.2f (%.0f%% CI)  strategy=%s%s  [%v]\n",
+		res.Value, res.HalfWidth, 100*res.Confidence, res.Strategy, esc, el.Round(time.Microsecond))
+	return nil
+}
+
+func (s *Session) runProgressive(w io.Writer, stmt string) error {
+	ctx, cancel := s.statementContext()
+	defer cancel()
+	t0 := time.Now()
+	sum, err := s.Prepared.QueryProgressive(ctx, stmt,
+		aqppp.ProgressiveOptions{Contract: s.Contract},
+		func(r aqppp.ProgressiveRound) error {
+			fmt.Fprintf(w, "  round %2d: %14.2f ± %-12.2f (%d rows)\n",
+				r.Round, r.Value, r.HalfWidth, r.SampleRows)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  [%s after %d rounds, %v]\n",
+		sum.Reason, sum.Rounds, time.Since(t0).Round(time.Microsecond))
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -42,10 +43,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying flusher so the SSE progressive
+// stream can push each round as it lands instead of letting the stdlib
+// buffer coalesce the whole stream into one write at handler return.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // routes wires the endpoint table.
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
 	s.mux.HandleFunc("POST /v1/approx", s.instrument("/v1/approx", s.handleApprox))
+	s.mux.HandleFunc("POST /v1/contract", s.instrument("/v1/contract", s.handleContract))
+	s.mux.HandleFunc("POST /v1/progressive", s.instrument("/v1/progressive", s.handleProgressive))
 	s.mux.HandleFunc("POST /v1/prepare", s.instrument("/v1/prepare", s.handlePrepare))
 	s.mux.HandleFunc("DELETE /v1/prepared/{name}", s.instrument("/v1/prepared", s.handleDropPrepared))
 	s.mux.HandleFunc("GET /v1/shard", s.instrument("/v1/shard", s.handleShardHello))
@@ -96,6 +108,19 @@ func (s *Server) writeError(w http.ResponseWriter, ri *reqInfo, err error) {
 		Kind:      kind.String(),
 		Message:   err.Error(),
 		RequestID: ri.id,
+	}
+	// A contract the planner (or the run-time ladder) could not meet
+	// reports how close it could get, so the client knows how much to
+	// loosen instead of binary-searching by resubmission. An infinite
+	// tightest bound (no sampling estimator at all) omits the block.
+	var inf *aqppp.ContractInfeasibleError
+	if errors.As(err, &inf) && !math.IsInf(inf.TightestAbs, 1) {
+		t := &TightestJSON{Abs: inf.TightestAbs}
+		if !math.IsInf(inf.TightestRel, 1) {
+			rel := inf.TightestRel
+			t.Rel = &rel
+		}
+		detail.TightestAchievable = t
 	}
 	var hinted interface{ RetryAfterHint() time.Duration }
 	if errors.As(err, &hinted) {
@@ -509,6 +534,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request, ri *reqIn
 		Endpoints:      eps,
 		Shards:         s.db.ShardSnapshots(),
 		Stores:         s.db.StoreSnapshots(),
+	}
+	if met, infeasible, escalated, rounds := s.met.contractSnapshot(); met+infeasible+escalated+rounds > 0 {
+		resp.Contract = &ContractStatusJSON{
+			MetTotal:          met,
+			InfeasibleTotal:   infeasible,
+			EscalatedTotal:    escalated,
+			ProgressiveRounds: rounds,
+		}
 	}
 	if s.cfg.Coordinator != nil {
 		snap := s.cfg.Coordinator.Snapshot()

@@ -152,6 +152,20 @@ func (s *Server) renderMetrics() []byte {
 	promHead(&b, "aqppp_quota_clients", "gauge", "Client token buckets currently tracked.")
 	fmt.Fprintf(&b, "aqppp_quota_clients %d\n", s.quota.Clients())
 
+	// Contract serving: outcome counters plus the per-round latency
+	// histogram of the progressive SSE stream.
+	s.met.mu.Lock()
+	cMet, cInf, cEsc := s.met.contractMet, s.met.contractInfeasible, s.met.contractEscalated
+	progBuckets := append([]int64(nil), s.met.progRounds.Counts...)
+	progSumUS, progCount := s.met.progSumUS, s.met.progCount
+	s.met.mu.Unlock()
+	promHead(&b, "aqppp_contract_met_total", "counter", "Contract queries answered within their error bound.")
+	fmt.Fprintf(&b, "aqppp_contract_met_total %d\n", cMet)
+	promHead(&b, "aqppp_contract_infeasible_total", "counter", "Contract queries rejected as infeasible (422).")
+	fmt.Fprintf(&b, "aqppp_contract_infeasible_total %d\n", cInf)
+	promHead(&b, "aqppp_contract_escalated_total", "counter", "Contract queries that needed a costlier rung than planned.")
+	fmt.Fprintf(&b, "aqppp_contract_escalated_total %d\n", cEsc)
+
 	eps, kinds := s.met.promSnapshot()
 
 	// Error kinds.
@@ -192,6 +206,22 @@ func (s *Server) renderMetrics() []byte {
 			name, promFloat(ep.sumUS/1e6))
 		fmt.Fprintf(&b, "aqppp_http_request_duration_seconds_count{endpoint=\"%s\"} %d\n",
 			name, ep.requests)
+	}
+
+	// Progressive streaming: per-round wall time (same log-scale
+	// buckets as the request histogram, so dashboards line up).
+	promHead(&b, "aqppp_progressive_round_duration_seconds", "histogram", "Progressive stream per-round wall time (log-scale buckets, 1µs–1s).")
+	{
+		var cum int64
+		for i := 0; i < latBuckets-1; i++ {
+			cum += progBuckets[i]
+			le := math.Pow(10, latLogMin+float64(i+1)*width) / 1e6
+			fmt.Fprintf(&b, "aqppp_progressive_round_duration_seconds_bucket{le=\"%s\"} %d\n",
+				promFloat(le), cum)
+		}
+		fmt.Fprintf(&b, "aqppp_progressive_round_duration_seconds_bucket{le=\"+Inf\"} %d\n", progCount)
+		fmt.Fprintf(&b, "aqppp_progressive_round_duration_seconds_sum %s\n", promFloat(progSumUS/1e6))
+		fmt.Fprintf(&b, "aqppp_progressive_round_duration_seconds_count %d\n", progCount)
 	}
 
 	// Sharded tables: layout gauges, pruning counters, and per-shard

@@ -39,12 +39,25 @@ type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 	kinds     map[string]int64
+	// Contract-serving counters: contracts answered within their bound,
+	// contracts rejected as infeasible (plan-time or after the ladder
+	// ran dry), and contracts that needed a costlier rung than planned.
+	contractMet        int64
+	contractInfeasible int64
+	contractEscalated  int64
+	// progRounds buckets progressive per-round wall time on the same
+	// log10(µs) scale as the request histograms; progSumUS/progCount
+	// feed the Prometheus _sum/_count series.
+	progRounds *stats.Histogram
+	progSumUS  float64
+	progCount  int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		endpoints: make(map[string]*endpointMetrics),
-		kinds:     make(map[string]int64),
+		endpoints:  make(map[string]*endpointMetrics),
+		kinds:      make(map[string]int64),
+		progRounds: stats.NewHistogram(latLogMin, latLogMax, latBuckets),
 	}
 }
 
@@ -74,6 +87,39 @@ func (m *metrics) observeKind(kind string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.kinds[kind]++
+}
+
+// observeContract records one contract query's outcome.
+func (m *metrics) observeContract(met, escalated bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if met {
+		m.contractMet++
+	} else {
+		m.contractInfeasible++
+	}
+	if escalated {
+		m.contractEscalated++
+	}
+}
+
+// observeProgressiveRound records one streamed round's wall time.
+func (m *metrics) observeProgressiveRound(latencyUS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if latencyUS < 1 {
+		latencyUS = 1
+	}
+	m.progSumUS += latencyUS
+	m.progCount++
+	m.progRounds.Add(math.Log10(latencyUS))
+}
+
+// contractSnapshot reads the contract counters.
+func (m *metrics) contractSnapshot() (met, infeasible, escalated, rounds int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.contractMet, m.contractInfeasible, m.contractEscalated, m.progCount
 }
 
 // kindCount reads one kind's counter.
@@ -113,27 +159,39 @@ type CacheStatusJSON struct {
 	MaxBytes      int64 `json:"max_bytes"`
 }
 
+// ContractStatusJSON is the contract-serving statusz entry.
+type ContractStatusJSON struct {
+	MetTotal        int64 `json:"met_total"`
+	InfeasibleTotal int64 `json:"infeasible_total"`
+	EscalatedTotal  int64 `json:"escalated_total"`
+	// ProgressiveRounds counts refinement rounds streamed over SSE.
+	ProgressiveRounds int64 `json:"progressive_rounds"`
+}
+
 // StatuszResponse is the body of GET /statusz. ShedTotal counts
 // capacity sheds only (the admission gate); quota sheds are the
 // distinct QuotaShedTotal — the two answer different operational
 // questions ("server full" vs "client hot").
 type StatuszResponse struct {
-	UptimeSeconds  float64                 `json:"uptime_seconds"`
-	Ready          bool                    `json:"ready"`
-	Draining       bool                    `json:"draining"`
-	InFlight       int64                   `json:"in_flight"`
-	Queued         int64                   `json:"queued"`
-	ServedTotal    int64                   `json:"served_total"`
-	ShedTotal      int64                   `json:"shed_total"`
-	QueuedTotal    int64                   `json:"queued_total"`
-	Limit          int                     `json:"concurrency_limit"`
-	Tables         []string                `json:"tables"`
-	Prepared       []string                `json:"prepared"`
-	Cache          *CacheStatusJSON        `json:"cache,omitempty"`
-	QuotaShedTotal int64                   `json:"quota_shed_total"`
-	QuotaClients   int                     `json:"quota_clients"`
-	ErrorKinds     map[string]int64        `json:"error_kinds,omitempty"`
-	Endpoints      map[string]EndpointJSON `json:"endpoints"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Ready          bool             `json:"ready"`
+	Draining       bool             `json:"draining"`
+	InFlight       int64            `json:"in_flight"`
+	Queued         int64            `json:"queued"`
+	ServedTotal    int64            `json:"served_total"`
+	ShedTotal      int64            `json:"shed_total"`
+	QueuedTotal    int64            `json:"queued_total"`
+	Limit          int              `json:"concurrency_limit"`
+	Tables         []string         `json:"tables"`
+	Prepared       []string         `json:"prepared"`
+	Cache          *CacheStatusJSON `json:"cache,omitempty"`
+	QuotaShedTotal int64            `json:"quota_shed_total"`
+	QuotaClients   int              `json:"quota_clients"`
+	// Contract reports contract/progressive serving counters (absent
+	// until the first contract or progressive request).
+	Contract   *ContractStatusJSON     `json:"contract,omitempty"`
+	ErrorKinds map[string]int64        `json:"error_kinds,omitempty"`
+	Endpoints  map[string]EndpointJSON `json:"endpoints"`
 	// Shards lists each sharded table's layout and per-shard scan
 	// counters (absent when no table is sharded).
 	Shards []shard.Snapshot `json:"shards,omitempty"`

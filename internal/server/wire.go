@@ -12,6 +12,8 @@
 //
 //	POST   /v1/query           exact answer over a registered table
 //	POST   /v1/approx          approximate answer via a named prepared handle
+//	POST   /v1/contract        answer under an a-priori error contract (422 if infeasible)
+//	POST   /v1/progressive     SSE stream of refining estimates (online aggregation)
 //	POST   /v1/prepare         build and name a prepared handle
 //	DELETE /v1/prepared/{name} forget a prepared handle
 //	GET    /v1/shard           replica handshake (fleet-internal; see dist.go)
@@ -98,6 +100,73 @@ type QueryResponse struct {
 	// the original computation.
 	Cached    bool    `json:"cached,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Strategy and Escalated are contract-only: the ladder rung that
+	// answered ("cube", "approx", "bootstrap", "exact") and whether the
+	// planner's first choice missed the bound at run time.
+	Strategy  string `json:"strategy,omitempty"`
+	Escalated bool   `json:"escalated,omitempty"`
+}
+
+// ContractRequest is the body of POST /v1/contract: a statement plus
+// the error the client can tolerate. At least one of MaxRelError /
+// MaxAbsError must be set; when both are, both must hold.
+type ContractRequest struct {
+	SQL      string `json:"sql"`
+	Prepared string `json:"prepared"`
+	// MaxRelError bounds half-width / |value| (0.01 = ±1%).
+	MaxRelError float64 `json:"max_rel_error,omitempty"`
+	// MaxAbsError bounds the half-width in the aggregate's units.
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	// Confidence is the CI level the bound holds at (default 0.95).
+	Confidence float64 `json:"confidence,omitempty"`
+	// AllowExact permits escalation to a full exact scan; without it an
+	// unreachable bound is rejected 422 instead of silently degrading
+	// into a table scan.
+	AllowExact bool  `json:"allow_exact,omitempty"`
+	TimeoutMS  int64 `json:"timeout_ms,omitempty"`
+}
+
+// ProgressiveRequest is the body of POST /v1/progressive. The optional
+// contract fields terminate the stream early once met; without them
+// the stream runs to sample exhaustion or the round cap.
+type ProgressiveRequest struct {
+	SQL         string  `json:"sql"`
+	Prepared    string  `json:"prepared"`
+	MaxRelError float64 `json:"max_rel_error,omitempty"`
+	MaxAbsError float64 `json:"max_abs_error,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+	// StepRows is the rows added to the sample per round (0 = 2% of the
+	// table, at least 1024).
+	StepRows int `json:"step_rows,omitempty"`
+	// MaxRounds caps the stream (0 = 64).
+	MaxRounds int    `json:"max_rounds,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ProgressiveRoundJSON is the data payload of one "round" SSE event.
+type ProgressiveRoundJSON struct {
+	Round      int     `json:"round"`
+	Value      float64 `json:"value"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	SampleRows int     `json:"sample_rows"`
+	Met        bool    `json:"met,omitempty"`
+}
+
+// ProgressiveDoneJSON is the data payload of the terminal "done" SSE
+// event: the summary plus why the stream stopped ("contract-met",
+// "sample-exhausted", "max-rounds", or "budget-exhausted").
+type ProgressiveDoneJSON struct {
+	RequestID  string  `json:"request_id"`
+	Reason     string  `json:"reason"`
+	Rounds     int     `json:"rounds"`
+	Value      float64 `json:"value"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	SampleRows int     `json:"sample_rows"`
+	Met        bool    `json:"met,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
 // PrepareRequest is the body of POST /v1/prepare; it mirrors
@@ -148,17 +217,32 @@ type ErrorDetail struct {
 	// "unavailable" failures whose cause was a shedding replica; it
 	// mirrors the Retry-After header at millisecond resolution.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// TightestAchievable accompanies kind "contract-infeasible": the
+	// smallest error the planner predicts it could deliver without an
+	// exact scan, so the client knows how much to loosen. Absent when
+	// the aggregate has no sampling estimator at all.
+	TightestAchievable *TightestJSON `json:"tightest_achievable,omitempty"`
+}
+
+// TightestJSON is the achievable-error block inside a
+// contract-infeasible ErrorDetail.
+type TightestJSON struct {
+	Abs float64 `json:"abs"`
+	// Rel is absent when the pilot value was zero (relative error is
+	// undefined around zero).
+	Rel *float64 `json:"rel,omitempty"`
 }
 
 // statusForKind maps the error taxonomy onto stable HTTP statuses:
 //
-//	parse           → 400 Bad Request
-//	unknown-table   → 404 Not Found
-//	unsupported     → 422 Unprocessable Entity
-//	budget-exceeded → 408 Request Timeout
-//	canceled        → 499 Client Closed Request
-//	unavailable     → 503 Service Unavailable
-//	internal        → 500 Internal Server Error
+//	parse               → 400 Bad Request
+//	unknown-table       → 404 Not Found
+//	unsupported         → 422 Unprocessable Entity
+//	contract-infeasible → 422 Unprocessable Entity (+ tightest_achievable in the body)
+//	budget-exceeded     → 408 Request Timeout
+//	canceled            → 499 Client Closed Request
+//	unavailable         → 503 Service Unavailable
+//	internal            → 500 Internal Server Error
 //
 // (Admission sheds are not taxonomy errors; they respond 429 with
 // Retry-After before any query work runs.)
@@ -168,7 +252,7 @@ func statusForKind(k aqppp.ErrorKind) int {
 		return http.StatusBadRequest
 	case aqppp.ErrUnknownTable:
 		return http.StatusNotFound
-	case aqppp.ErrUnsupported:
+	case aqppp.ErrUnsupported, aqppp.ErrContractInfeasible:
 		return http.StatusUnprocessableEntity
 	case aqppp.ErrBudgetExceeded:
 		return http.StatusRequestTimeout
@@ -209,6 +293,14 @@ func approxResponse(id string, res aqppp.Result, elapsed time.Duration) QueryRes
 			Key: g.Key, Value: g.Value, HalfWidth: &ghw, Pre: g.Pre,
 		})
 	}
+	return out
+}
+
+// contractResponse converts a contract result to the wire shape.
+func contractResponse(id string, res aqppp.ContractResult, elapsed time.Duration) QueryResponse {
+	out := approxResponse(id, res.Result, elapsed)
+	out.Strategy = res.Strategy
+	out.Escalated = res.Escalated
 	return out
 }
 

@@ -1,15 +1,35 @@
 #!/bin/sh
 # check.sh — the repo's expanded tier-1 verification gate.
-# Runs: build, gofmt, go vet, aqppp-lint, and the race-enabled test suite.
-# Exits non-zero on the first failure.
+# Runs: build, gofmt, go vet, aqppp-lint, the race-enabled test suite,
+# the server smokes, and one-iteration bench smokes with the recorded
+# baselines loaded. Exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
-go build ./...
+# now prints the epoch second. `date +%s` is a GNU/BSD extension (POSIX
+# date has no %s), so dash/minimal-sh environments need the awk route:
+# srand() with no argument seeds from the clock and returns the previous
+# seed, so calling it twice yields the current epoch portably.
+now() {
+    awk 'BEGIN { srand(); print srand() }'
+}
 
-echo "==> gofmt -l"
+# step/step_done bracket every gate stage with a uniform wall-clock
+# line, so a CI log diff immediately shows which stage regressed.
+step() {
+    echo "==> $1"
+    step_started=$(now)
+}
+step_done() {
+    echo "    wall-clock: $(( $(now) - step_started ))s"
+}
+
+step "go build ./..."
+go build ./...
+step_done
+
+step "gofmt -l"
 # Exclude the lint testdata module: its files seed deliberate violations
 # and are formatted, but keep the filter explicit in case that changes.
 unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
@@ -18,31 +38,32 @@ if [ -n "$unformatted" ]; then
     echo "$unformatted" >&2
     exit 1
 fi
+step_done
 
-echo "==> go vet ./..."
+step "go vet ./..."
 go vet ./...
+step_done
 
-echo "==> aqppp-lint ./..."
-# The analyzer parses and analyzes packages in parallel; the wall-clock
-# line makes a load/analysis perf regression visible in every gate run.
-lint_start=$(date +%s)
+step "aqppp-lint ./..."
 go run ./cmd/aqppp-lint ./...
-echo "    aqppp-lint wall-clock: $(( $(date +%s) - lint_start ))s"
+step_done
 
-echo "==> go test -race ./..."
+step "go test -race ./..."
 go test -race ./...
+step_done
 
-echo "==> cancellation flake hunt (-race -run Cancel -count=5)"
+step "cancellation flake hunt (-race -run Cancel -count=5)"
 # Cancellation is inherently racy machinery: a stop flag armed by
 # context.AfterFunc, polled by scan/climb/resample loops. Run the
 # TestCancel* suite five times under the race detector to shake out
 # ordering-dependent flakes before they reach CI.
 go test -race -run Cancel -count=5 ./...
+step_done
 
 if [ "${AQPPP_SKIP_SERVER_SMOKE:-}" = "1" ]; then
     echo "==> server smoke skipped (AQPPP_SKIP_SERVER_SMOKE=1)"
 else
-    echo "==> server smoke (build, serve, query, cache hit, shed, quota, drain)"
+    step "server smoke (serve, query, cache, shed, quota, contract, SSE, drain)"
     # Exercises the real aqppp-serve binary end to end: build it, serve a
     # small demo table on a random port, answer one exact and one approx
     # query, repeat one for a cache hit, burst distinct clients past the
@@ -56,27 +77,44 @@ else
     # two replica processes plus a coordinator against a single-process
     # sharded oracle: answers must match bit for bit, and killing a
     # replica must shed 503 "unavailable" instead of a silent partial sum.
+    # The contract leg answers a feasible contract inside its bound,
+    # rejects an impossible one 422 with tightest_achievable, streams a
+    # progressive SSE answer to a well-formed terminal event, and proves
+    # a mid-stream disconnect lands on the canceled counter.
     AQPPP_SERVER_SMOKE=1 go test -race -count=1 \
-        -run 'TestServeBinarySmoke|TestServeStoreRestartSmoke|TestServeFleetSmoke' ./cmd/aqppp-serve
+        -run 'TestServeBinarySmoke|TestServeStoreRestartSmoke|TestServeFleetSmoke|TestServeContractSmoke' \
+        ./cmd/aqppp-serve
+    step_done
 fi
 
-echo "==> engine bench smoke (benchtime 1x)"
-# One iteration per benchmark: catches kernel-path panics/regressions in
-# the benchmark fixtures without turning the gate into a perf run. The
-# recorded baselines live in BENCH_engine.json.
-go test -run '^$' -bench BenchmarkEngine -benchtime 1x ./internal/engine
+# One iteration per benchmark: catches fixture/kernel-path panics without
+# turning the gate into a perf run. The output feeds benchguard below so
+# the recorded baselines (BENCH_*.json) are parsed and name-checked on
+# every gate run; actual regression comparison happens in CI and nightly
+# where repetitions make medians meaningful.
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
 
-echo "==> store bench smoke (benchtime 1x)"
-# One iteration per store benchmark: write + open + scan the 1M-row
-# container through both the mmap and portable read paths. Catches
-# format/decode-path panics; recorded baselines live in BENCH_store.json.
-go test -run '^$' -bench BenchmarkStore -benchtime 1x ./internal/store
+step "engine bench smoke (benchtime 1x)"
+go test -run '^$' -bench BenchmarkEngine -benchtime 1x ./internal/engine | tee "$bench_out"
+step_done
 
-echo "==> shard bench smoke (benchtime 1x, one sharded config)"
-# One sharded scatter-gather config end to end: partition the 1M-row
-# fixture into 4 range shards, run the straddle-heavy SUM through the
-# coordinator. Catches partition/prune/merge panics; the recorded
-# baselines (all shard counts) live in BENCH_shard.json.
-go test -run '^$' -bench 'BenchmarkShardSumShuffled4$' -benchtime 1x ./internal/shard
+step "store bench smoke (benchtime 1x)"
+go test -run '^$' -bench BenchmarkStore -benchtime 1x ./internal/store | tee -a "$bench_out"
+step_done
+
+step "shard bench smoke (benchtime 1x, one sharded config)"
+go test -run '^$' -bench 'BenchmarkShardSumShuffled4$' -benchtime 1x ./internal/shard | tee -a "$bench_out"
+step_done
+
+step "contract bench smoke (benchtime 1x)"
+go test -run '^$' -bench BenchmarkContract -benchtime 1x ./internal/contract | tee -a "$bench_out"
+step_done
+
+step "benchguard baselines (report-only at 1x)"
+go run ./scripts/benchguard.go \
+    -baseline BENCH_engine.json,BENCH_shard.json,BENCH_store.json,BENCH_contract.json \
+    -tolerance 10 "$bench_out"
+step_done
 
 echo "==> all checks passed"
